@@ -1,0 +1,168 @@
+"""Ablation M9 — operator placement under network degradation.
+
+Section IV-a argues Pusher placement is "optimal for runtime models
+requiring data liveness [and] low latency" while Collect Agent placement
+trades that for whole-system visibility.  The placement ablation (M5)
+shows the trade-off on a perfect network; this one quantifies it when
+the management network degrades: the same smoothing operator runs
+in-band (in the Pusher) and out-of-band (in the Collect Agent) while
+latency and loss are injected on the MQTT path.
+
+Expectations:
+- the in-band operator's output is unaffected by any network condition;
+- the out-of-band operator's staleness grows with injected latency;
+- under loss, the out-of-band operator sees proportionally fewer
+  readings while the in-band one still sees them all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import print_header, print_table, shape_check
+from repro.common.timeutil import NS_PER_MS, NS_PER_SEC
+from repro.core.manager import OperatorManager
+from repro.dcdb import Broker, CollectAgent, Pusher
+from repro.dcdb.network import NetworkConditions
+from repro.dcdb.plugins import SysfsPlugin
+from repro.simulator import ClusterSimulator, ClusterSpec
+from repro.simulator.clock import TaskScheduler
+
+RUN_S = 60
+SMOOTH = {
+    "plugin": "smoother",
+    "operators": {
+        "sm": {
+            "interval_s": 1,
+            "window_s": 5,
+            "delay_s": 2,
+            "inputs": ["<bottomup>power"],
+            "outputs": ["<bottomup>power-smooth"],
+        }
+    },
+}
+
+
+def build(latency_ms=0.0, jitter_ms=0.0, drop=0.0):
+    sim = ClusterSimulator(ClusterSpec.small(nodes=1, cpus=2), seed=0xA9)
+    scheduler = TaskScheduler()
+    broker = Broker()
+    link = NetworkConditions(
+        broker,
+        scheduler,
+        latency_ns=int(latency_ms * NS_PER_MS),
+        jitter_ns=int(jitter_ms * NS_PER_MS),
+        drop_probability=drop,
+        seed=5,
+    )
+    node = sim.node_paths[0]
+    pusher = Pusher(node, link, scheduler)
+    pusher.add_plugin(SysfsPlugin(sim, node))
+    agent = CollectAgent("agent", broker, scheduler)
+    pm = OperatorManager()
+    pusher.attach_analytics(pm)
+    pm.load_plugin(SMOOTH)
+    scheduler.run_until(3 * NS_PER_SEC)
+    am = OperatorManager()
+    agent.attach_analytics(am)
+    agent_cfg = {
+        "plugin": "smoother",
+        "operators": {
+            "sm-agent": {
+                **SMOOTH["operators"]["sm"],
+                "outputs": ["<bottomup>power-smooth-agent"],
+            }
+        },
+    }
+    am.load_plugin(agent_cfg)
+    scheduler.run_until(RUN_S * NS_PER_SEC)
+    agent.flush()
+    node_topic = f"{node}/power"
+    inband = pusher.cache_for(f"{node}/power-smooth")
+    outband = agent.cache_for(f"{node}/power-smooth-agent")
+    raw_local = pusher.cache_for(node_topic)
+    raw_remote = agent.cache_for(node_topic)
+    return {
+        "inband_count": len(inband) if inband else 0,
+        "outband_count": len(outband) if outband else 0,
+        "raw_local": len(raw_local),
+        "raw_remote": len(raw_remote) if raw_remote else 0,
+        "inband_age_s": (
+            scheduler.clock.now - inband.latest().timestamp
+        ) / NS_PER_SEC if inband and len(inband) else float("inf"),
+        "outband_lag_s": (
+            raw_local.latest().timestamp - raw_remote.latest().timestamp
+        ) / NS_PER_SEC if raw_remote and len(raw_remote) else float("inf"),
+        "link": link,
+    }
+
+
+class TestNetworkPlacementAblation:
+    def test_latency_sweep(self, benchmark):
+        print_header("M9 - placement under network latency")
+        rows = []
+        results = {}
+        for latency_ms in (0, 500, 2500):
+            r = build(latency_ms=latency_ms, jitter_ms=latency_ms / 5)
+            results[latency_ms] = r
+            rows.append(
+                (
+                    f"{latency_ms}ms",
+                    r["inband_count"],
+                    r["outband_count"],
+                    r["outband_lag_s"],
+                )
+            )
+        print_table(
+            ["latency", "inband outs", "outband outs", "agent lag [s]"], rows
+        )
+        assert shape_check(
+            "in-band operator output unaffected by latency",
+            len({r["inband_count"] for r in results.values()}) == 1,
+            f"{[r['inband_count'] for r in results.values()]}",
+        )
+        assert shape_check(
+            "agent-side data staleness grows with latency",
+            results[2500]["outband_lag_s"] > results[0]["outband_lag_s"],
+            f"{results[0]['outband_lag_s']:.1f}s -> "
+            f"{results[2500]['outband_lag_s']:.1f}s",
+        )
+        benchmark(lambda: None)
+
+    def test_loss_sweep(self, benchmark):
+        print_header("M9 - placement under packet loss")
+        rows = []
+        results = {}
+        for drop in (0.0, 0.2, 0.5):
+            r = build(drop=drop)
+            results[drop] = r
+            rows.append(
+                (
+                    f"{drop:.0%}",
+                    r["raw_local"],
+                    r["raw_remote"],
+                    r["link"].loss_rate(),
+                )
+            )
+        print_table(
+            ["loss", "local readings", "remote readings", "measured loss"],
+            rows,
+        )
+        assert shape_check(
+            "local (in-band) view complete at any loss rate",
+            len({r["raw_local"] for r in results.values()}) == 1,
+        )
+        assert shape_check(
+            "remote view thins out proportionally to loss",
+            results[0.5]["raw_remote"]
+            < results[0.0]["raw_remote"] * 0.7,
+            f"{results[0.0]['raw_remote']} -> {results[0.5]['raw_remote']}",
+        )
+        assert shape_check(
+            "out-of-band analysis degrades gracefully (still produces "
+            "output under 50% loss)",
+            results[0.5]["outband_count"] > 0,
+            f"{results[0.5]['outband_count']} outputs",
+        )
+        benchmark(lambda: None)

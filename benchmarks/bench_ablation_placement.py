@@ -1,0 +1,129 @@
+"""Ablation M5 — operator placement: Pusher vs Collect Agent.
+
+Section IV-a: Pusher placement gives data liveness, low latency and
+horizontal scalability (local cache reads only); Collect Agent placement
+gives whole-system visibility with cache-first/storage-fallback reads.
+This bench measures both effects on the same aggregation workload:
+
+- query path latency: local pusher cache vs agent cache vs agent
+  storage fallback;
+- data liveness: how stale an agent-side operator's view is relative to
+  a pusher-side one, given the MQTT drain cadence.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import Deployment, print_header, print_table, shape_check
+from repro.common.timeutil import NS_PER_SEC
+from repro.simulator import ClusterSpec
+
+
+AGG = {
+    "plugin": "aggregator",
+    "operators": {
+        "agg": {
+            "interval_s": 1,
+            "window_s": 5,
+            "inputs": ["<bottomup-1>power"],
+            "outputs": ["<bottomup-1>power-agg"],
+            "params": {"op": "mean"},
+        }
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    dep = Deployment(ClusterSpec.small(nodes=4, cpus=2), seed=0xAB)
+    dep.run(30)
+    return dep
+
+
+class TestPlacement:
+    def test_query_latency_by_source(self, deployment, benchmark):
+        dep = deployment
+        node = dep.sim.node_paths[0]
+        topic = f"{node}/power"
+        dep.agent.flush()
+        pusher_engine = dep.managers[node].engine
+        agent_engine = dep.agent_manager.engine
+        window = 5 * NS_PER_SEC
+
+        def timed(fn, reps=3000):
+            t0 = time.perf_counter_ns()
+            for _ in range(reps):
+                fn()
+            return (time.perf_counter_ns() - t0) / reps
+
+        t_pusher = timed(lambda: pusher_engine.query_relative(topic, window))
+        t_agent_cache = timed(lambda: agent_engine.query_relative(topic, window))
+        start = dep.now - 20 * NS_PER_SEC
+        # Force the storage path by asking beyond the agent cache via a
+        # direct storage query (the engine's fallback source).
+        t_storage = timed(
+            lambda: dep.agent.storage.query(topic, start, dep.now)
+        )
+        rows = [
+            ("pusher cache", t_pusher),
+            ("agent cache", t_agent_cache),
+            ("agent storage", t_storage),
+        ]
+        print_header("M5 - query latency by placement/source")
+        print_table(["source", "ns/query"], rows, fmt="{:>16}")
+        assert shape_check(
+            "cache-first reads are cheap on both hosts (<50us)",
+            max(t_pusher, t_agent_cache) < 50_000,
+            f"{t_pusher:.0f} / {t_agent_cache:.0f} ns",
+        )
+        benchmark(pusher_engine.query_relative, topic, window)
+
+    def test_data_liveness(self, deployment, benchmark):
+        """A pusher-side operator sees the current sample immediately;
+        the agent's view trails by up to one drain interval."""
+        dep = deployment
+        node = dep.sim.node_paths[0]
+        topic = f"{node}/power"
+        dep.run(1)
+        pusher_latest = dep.pushers[node].cache_for(topic).latest()
+        agent_cache = dep.agent.cache_for(topic)
+        agent_latest = agent_cache.latest() if agent_cache else None
+        print_header("M5 - data liveness")
+        lag_s = (
+            (pusher_latest.timestamp - agent_latest.timestamp) / NS_PER_SEC
+            if agent_latest
+            else float("inf")
+        )
+        print(f"  pusher view age: 0.0 s; agent view lag: {lag_s:.1f} s")
+        assert shape_check(
+            "pusher-side data strictly fresher or equal",
+            agent_latest is None
+            or pusher_latest.timestamp >= agent_latest.timestamp,
+        )
+        assert shape_check(
+            "agent lag bounded by one drain interval",
+            lag_s <= 1.0 + 1e-9,
+            f"{lag_s:.1f} s",
+        )
+        benchmark(lambda: dep.pushers[node].cache_for(topic).latest())
+
+    def test_visibility_scope(self, deployment, benchmark):
+        """Only the agent-side engine can resolve cross-node patterns."""
+        dep = deployment
+        print_header("M5 - sensor-space visibility")
+        n_agent = len(dep.agent_manager.engine.topics())
+        node = dep.sim.node_paths[0]
+        n_pusher = len(dep.managers[node].engine.topics())
+        print(
+            f"  agent sees {n_agent} sensors; one pusher sees {n_pusher}"
+        )
+        assert shape_check(
+            "agent sees the whole system, pushers only local sensors",
+            n_agent >= n_pusher * len(dep.sim.node_paths),
+            f"{n_agent} vs {n_pusher} x {len(dep.sim.node_paths)} nodes",
+        )
+        benchmark(dep.agent_manager.engine.topics)

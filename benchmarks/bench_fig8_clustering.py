@@ -1,0 +1,256 @@
+"""Figure 8 — identification of performance anomalies (Section VI-D).
+
+Paper setup: a ``clustering`` operator in the main Collect Agent holds
+one unit per compute node of CooLMUC-3 (148 nodes), each contributing
+2-week averages of node power, temperature and cumulative CPU idle time.
+A Bayesian Gaussian mixture — which determines its effective component
+count autonomously — clusters the nodes hourly; points below a 0.001
+probability threshold under all fitted components are outliers.  The
+paper finds three clusters (an idle-ish cluster, the bulk, a heavily
+loaded cluster), strong power/temperature/idle correlation, and one
+anomalous node drawing ~20 % more power than peers with similar idle
+time.
+
+Scaling substitution: the full 148-node topology is kept, but the
+aggregation window is 600 simulated seconds instead of two weeks, with a
+synthetic job mix creating idle / medium / heavy load groups and one
+planted +20 % power anomaly.
+
+Paper-shape expectations checked:
+- the mixture finds >= 2 effective clusters without being told how many;
+- clusters order consistently: more idle time => less power, lower
+  temperature (the linear trend of Fig 8);
+- power and temperature are strongly correlated across nodes;
+- the planted anomalous node is flagged as an outlier, and outliers
+  remain a small fraction of the system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import (
+    Deployment,
+    print_header,
+    print_table,
+    shape_check,
+)
+from repro.common.timeutil import NS_PER_SEC
+from repro.simulator import ClusterSpec
+from repro.simulator.cluster import ClusterTopology
+from repro.simulator.scheduler import Job
+
+WINDOW_S = 600.0
+RUN_S = 660.0
+SAMPLE_S = 10
+N_IDLE = 30
+N_LIGHT = 40
+N_MEDIUM = 52
+N_HEAVY = 25  # idle+light+medium+heavy = 147, +1 anomaly node = 148
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    spec = ClusterSpec.coolmuc3()
+    topo = ClusterTopology(spec)
+    nodes = topo.node_paths
+    groups = {
+        "idle": nodes[:N_IDLE],
+        "light": nodes[N_IDLE : N_IDLE + N_LIGHT],
+        "medium": nodes[N_IDLE + N_LIGHT : N_IDLE + N_LIGHT + N_MEDIUM],
+        "heavy": nodes[N_IDLE + N_LIGHT + N_MEDIUM : 147],
+        "anomaly": [nodes[147]],
+    }
+    anomaly_node = groups["anomaly"][0]
+    dep = Deployment(
+        spec,
+        seed=0xF8,
+        monitoring=("sysfs", "procfs"),
+        sampling_interval_ns=SAMPLE_S * NS_PER_SEC,
+        cache_window_ns=int((WINDOW_S + 60) * NS_PER_SEC),
+        anomalies={anomaly_node: 1.2},
+    )
+
+    def job(jid, app, node_list, start_s, end_s):
+        dep.sim.scheduler.add_job(
+            Job(
+                jid,
+                app,
+                tuple(node_list),
+                int(start_s * NS_PER_SEC),
+                int(end_s * NS_PER_SEC),
+            )
+        )
+
+    # Heavy group: continuously loaded.
+    job("heavy-hpl", "hpl", groups["heavy"], 1, RUN_S)
+    # Medium group (+ the anomaly node, which runs the same mix as the
+    # medium peers so only its power factor differs): ~70% utilisation.
+    medium = groups["medium"] + groups["anomaly"]
+    job("med-kripke", "kripke", medium, 1, 250)
+    job("med-amg", "amg", medium, 330, 600)
+    # Light group: one short job.
+    job("light-lammps", "lammps", groups["light"], 100, 260)
+    # Idle group: no jobs at all.
+
+    dep.run(10)
+    dep.agent_manager.load_plugin(
+        {
+            "plugin": "clustering",
+            "operators": {
+                "node-states": {
+                    "interval_s": int(WINDOW_S),
+                    "window_s": int(WINDOW_S),
+                    "delay_s": int(RUN_S - 15),
+                    "inputs": [
+                        "<bottomup>power",
+                        "<bottomup>temp",
+                        "<bottomup>idle-time",
+                    ],
+                    "outputs": ["<bottomup>cluster", "<bottomup>outlier"],
+                    "operator_outputs": ["n-clusters", "n-outliers"],
+                    "params": {
+                        "transforms": {
+                            "power": "mean",
+                            "temp": "mean",
+                            "idle-time": "delta",
+                        },
+                        "n_components": 8,
+                        "pdf_threshold": 1e-3,
+                        "seed": 8,
+                    },
+                }
+            },
+        }
+    )
+    dep.run(RUN_S - 10)
+    op = dep.agent_manager.operator("node-states")
+    # Per-node window averages for reporting (same features the operator
+    # used, recomputed from storage).
+    features = {}
+    for node in nodes:
+        _, power = dep.series(f"{node}/power")
+        _, temp = dep.series(f"{node}/temp")
+        _, idle = dep.series(f"{node}/idle-time")
+        features[node] = (
+            float(power.mean()),
+            float(temp.mean()),
+            float(idle[-1] - idle[0]),
+        )
+    return dep, op, groups, features, anomaly_node
+
+
+class TestFig8:
+    def test_fig8_clusters_found(self, experiment, benchmark):
+        dep, op, groups, features, anomaly = experiment
+        print_header("Figure 8 - Bayesian GMM clustering of 148 nodes")
+        assert op.last_labels, "clustering pass did not run"
+        labels = op.last_labels
+        rows = []
+        for cluster_id in sorted(set(labels.values())):
+            members = [n for n, l in labels.items() if l == cluster_id]
+            p = np.mean([features[n][0] for n in members])
+            t = np.mean([features[n][1] for n in members])
+            idle = np.mean([features[n][2] for n in members])
+            rows.append(
+                (f"cluster {cluster_id}", len(members), float(p), float(t),
+                 float(idle))
+            )
+        print_table(
+            ["", "#nodes", "power[W]", "temp[C]", "idle[core-s]"], rows
+        )
+        print(f"\n  effective clusters: {op.last_n_clusters} (paper: 3)")
+        print(f"  outliers: {len(op.last_outliers)} -> {op.last_outliers}")
+        assert shape_check(
+            "mixture finds >= 2 effective clusters autonomously",
+            op.last_n_clusters >= 2,
+            f"{op.last_n_clusters}",
+        )
+        assert shape_check(
+            "every node got a label", len(labels) == 148, f"{len(labels)}"
+        )
+        benchmark(op.compute, dep.now)
+
+    def test_fig8_cluster_ordering(self, experiment, benchmark):
+        """More idle time => less power and lower temperature."""
+        dep, op, groups, features, anomaly = experiment
+        print_header("Figure 8 - cluster ordering along the idle/power trend")
+        labels = op.last_labels
+        stats = {}
+        for cluster_id in sorted(set(labels.values())):
+            members = [n for n, l in labels.items() if l == cluster_id]
+            if len(members) < 5:
+                continue
+            stats[cluster_id] = (
+                np.mean([features[n][0] for n in members]),
+                np.mean([features[n][1] for n in members]),
+                np.mean([features[n][2] for n in members]),
+            )
+        assert len(stats) >= 2
+        by_idle = sorted(stats.values(), key=lambda s: s[2])
+        powers = [s[0] for s in by_idle]
+        temps = [s[1] for s in by_idle]
+        print_table(
+            ["power[W]", "temp[C]", "idle[core-s]"],
+            [(float(p), float(t), float(i)) for p, t, i in by_idle],
+        )
+        assert shape_check(
+            "power decreases as cluster idle time increases",
+            all(powers[i] > powers[i + 1] for i in range(len(powers) - 1)),
+            f"{np.round(powers, 1)}",
+        )
+        assert shape_check(
+            "temperature follows the same ordering",
+            all(temps[i] > temps[i + 1] for i in range(len(temps) - 1)),
+            f"{np.round(temps, 1)}",
+        )
+        benchmark(sorted, stats.values(), key=lambda s: s[2])
+
+    def test_fig8_metric_correlation(self, experiment, benchmark):
+        """The three metrics describe one linear trend (Fig 8's cloud)."""
+        dep, op, groups, features, anomaly = experiment
+        print_header("Figure 8 - power/temperature/idle correlation")
+        mat = np.array([features[n] for n in sorted(features)])
+        corr_pt = float(np.corrcoef(mat[:, 0], mat[:, 1])[0, 1])
+        corr_pi = float(np.corrcoef(mat[:, 0], mat[:, 2])[0, 1])
+        print(f"  corr(power, temp) = {corr_pt:.3f}")
+        print(f"  corr(power, idle) = {corr_pi:.3f}")
+        assert shape_check(
+            "power and temperature strongly correlated", corr_pt > 0.9,
+            f"{corr_pt:.3f}",
+        )
+        assert shape_check(
+            "power and idle time anti-correlated", corr_pi < -0.8,
+            f"{corr_pi:.3f}",
+        )
+        benchmark(np.corrcoef, mat[:, 0], mat[:, 1])
+
+    def test_fig8_anomaly_flagged(self, experiment, benchmark):
+        """The planted +20% power node is identified as an outlier."""
+        dep, op, groups, features, anomaly = experiment
+        print_header("Figure 8 - planted anomaly detection")
+        peers = groups["medium"]
+        peer_power = np.mean([features[n][0] for n in peers])
+        anom_power = features[anomaly][0]
+        print(
+            f"  anomalous node {anomaly}: {anom_power:.1f} W vs "
+            f"{peer_power:.1f} W for peers with similar idle time "
+            f"(+{(anom_power / peer_power - 1) * 100:.0f}%)"
+        )
+        print(f"  flagged outliers: {op.last_outliers}")
+        assert shape_check(
+            "anomalous node draws ~20% more power than its peers",
+            1.10 < anom_power / peer_power < 1.35,
+            f"x{anom_power / peer_power:.2f}",
+        )
+        assert shape_check(
+            "the anomalous node is flagged as an outlier",
+            anomaly in op.last_outliers,
+        )
+        assert shape_check(
+            "outliers are a small fraction of the system",
+            len(op.last_outliers) <= 8,
+            f"{len(op.last_outliers)}/148",
+        )
+        benchmark(lambda: op.last_outliers)

@@ -1,0 +1,129 @@
+"""Micro/ablation M1 — sensor cache complexity.
+
+Validates the complexity claims of Section V-B at the data-structure
+level: relative views cost O(1) (index arithmetic independent of cache
+size), absolute views cost O(log N) (binary search).  Also measures the
+raw store throughput that bounds Pusher sampling rates.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import print_header, print_table, shape_check
+from repro.common.timeutil import NS_PER_SEC
+from repro.dcdb.cache import SensorCache
+
+SIZES = (1_000, 10_000, 100_000, 1_000_000)
+
+
+def filled(n):
+    cache = SensorCache(n, interval_ns=NS_PER_SEC)
+    ts = np.arange(n, dtype=np.int64) * NS_PER_SEC
+    cache.store_batch(ts, ts.astype(np.float64))
+    return cache
+
+
+def time_per_call(fn, reps=2000):
+    t0 = time.perf_counter_ns()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter_ns() - t0) / reps
+
+
+class TestCacheComplexity:
+    def test_relative_view_is_constant_time(self, benchmark):
+        print_header("M1 - relative view cost vs cache size (O(1) claim)")
+        rows = []
+        costs = {}
+        for n in SIZES:
+            cache = filled(n)
+            offset = (n // 2) * NS_PER_SEC
+            costs[n] = time_per_call(lambda: cache.view_relative(offset))
+            rows.append((f"{n:,}", costs[n]))
+        print_table(["cache size", "ns/view"], rows)
+        # O(1): cost at 1M entries within a small factor of cost at 1k.
+        assert shape_check(
+            "relative view cost flat in cache size",
+            costs[SIZES[-1]] < costs[SIZES[0]] * 4.0,
+            f"{costs[SIZES[0]]:.0f} ns -> {costs[SIZES[-1]]:.0f} ns",
+        )
+        big = filled(SIZES[-1])
+        benchmark(big.view_relative, (SIZES[-1] // 2) * NS_PER_SEC)
+
+    def test_absolute_view_is_logarithmic(self, benchmark):
+        print_header("M1 - absolute view cost vs cache size (O(log N) claim)")
+        rows = []
+        costs = {}
+        for n in SIZES:
+            cache = filled(n)
+            lo = (n // 4) * NS_PER_SEC
+            hi = (n // 2) * NS_PER_SEC
+            costs[n] = time_per_call(lambda: cache.view_absolute(lo, hi))
+            rows.append((f"{n:,}", costs[n]))
+        print_table(["cache size", "ns/view"], rows)
+        # Sub-linear: 1000x more data costs far less than 1000x time.
+        assert shape_check(
+            "absolute view cost grows sub-linearly",
+            costs[SIZES[-1]] < costs[SIZES[0]] * 20.0,
+            f"{costs[SIZES[0]]:.0f} ns -> {costs[SIZES[-1]]:.0f} ns",
+        )
+        big = filled(SIZES[-1])
+        benchmark(
+            big.view_absolute,
+            (SIZES[-1] // 4) * NS_PER_SEC,
+            (SIZES[-1] // 2) * NS_PER_SEC,
+        )
+
+    def test_store_throughput(self, benchmark):
+        print_header("M1 - cache store throughput")
+        cache = SensorCache(10_000, interval_ns=NS_PER_SEC)
+        n = 50_000
+        t0 = time.perf_counter_ns()
+        for i in range(n):
+            cache.store(i * NS_PER_SEC, float(i))
+        per_store = (time.perf_counter_ns() - t0) / n
+        rate = 1e9 / per_store
+        print(f"  scalar store: {per_store:.0f} ns -> {rate / 1e6:.2f} M stores/s")
+        # A pusher sampling 1000 sensors at 1 Hz needs 1 kHz of stores;
+        # require well over two orders of magnitude of headroom (the
+        # loose bound keeps the check robust on contended machines).
+        assert shape_check(
+            "store rate supports >1000 sensors at 1 Hz with headroom",
+            rate > 4e5,
+            f"{rate/1e6:.2f} M/s",
+        )
+        state = {"i": n}
+
+        def one():
+            state["i"] += 1
+            cache.store(state["i"] * NS_PER_SEC, 1.0)
+
+        benchmark(one)
+
+    def test_batch_store_beats_scalar(self, benchmark):
+        print_header("M1 - batch vs scalar store")
+        n = 100_000
+        ts = np.arange(n, dtype=np.int64)
+        values = np.arange(n, dtype=np.float64)
+        scalar_cache = SensorCache(n)
+        t0 = time.perf_counter_ns()
+        for i in range(0, n, 100):
+            scalar_cache.store(int(ts[i]), float(values[i]))
+        scalar_per = (time.perf_counter_ns() - t0) / (n // 100)
+        batch_cache = SensorCache(n)
+        t0 = time.perf_counter_ns()
+        batch_cache.store_batch(ts, values)
+        batch_per = (time.perf_counter_ns() - t0) / n
+        print(
+            f"  scalar {scalar_per:.0f} ns/reading vs batch "
+            f"{batch_per:.1f} ns/reading"
+        )
+        assert shape_check(
+            "batched ingest is at least 5x cheaper per reading",
+            batch_per * 5 < scalar_per,
+        )
+        benchmark(lambda: SensorCache(n).store_batch(ts, values))

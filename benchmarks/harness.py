@@ -1,0 +1,66 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Each ``bench_fig*.py`` module regenerates one figure of the paper's
+evaluation section (Section VI) on the simulated cluster and prints the
+same rows/series the paper reports.  Absolute numbers differ from the
+paper's CooLMUC-3 testbed — the substrate here is a simulator — but the
+*shape* checks encoded in each bench (who wins, rough factors, where
+crossovers fall) mirror the paper's conclusions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.deploy import Deployment
+
+__all__ = [
+    "Deployment",
+    "print_header",
+    "print_table",
+    "print_heatmap",
+    "shape_check",
+]
+
+
+def print_header(title: str) -> None:
+    line = "=" * max(60, len(title) + 4)
+    print(f"\n{line}\n  {title}\n{line}")
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence], fmt: str = "{:>12}"
+) -> None:
+    print("".join(fmt.format(str(h)) for h in headers))
+    for row in rows:
+        cells = [
+            f"{c:.4f}" if isinstance(c, float) else str(c) for c in row
+        ]
+        print("".join(fmt.format(c) for c in cells))
+
+
+def print_heatmap(
+    title: str,
+    row_labels: Sequence,
+    col_labels: Sequence,
+    values: np.ndarray,
+    cell_fmt: str = "{:.2f}",
+) -> None:
+    """Print a Fig-5-style heatmap as an aligned text grid."""
+    print(f"\n{title}")
+    width = max(10, max(len(str(c)) for c in col_labels) + 2)
+    header = " " * 12 + "".join(f"{str(c):>{width}}" for c in col_labels)
+    print(header)
+    for label, row in zip(row_labels, values):
+        cells = "".join(f"{cell_fmt.format(v):>{width}}" for v in row)
+        print(f"{str(label):>12}{cells}")
+
+
+def shape_check(name: str, condition: bool, detail: str = "") -> bool:
+    """Report a paper-shape expectation; prints PASS/FAIL and returns it."""
+    status = "PASS" if condition else "FAIL"
+    suffix = f"  ({detail})" if detail else ""
+    print(f"  [{status}] {name}{suffix}")
+    return condition

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Case study 2 — per-job CPI analysis via a pipeline (Section VI-C).
+
+Reproduces the PerSyst-on-Wintermute pipeline:
+
+- stage 1: a ``perfmetrics`` operator in every Pusher derives each CPU
+  core's CPI from the raw cycle/instruction counters;
+- stage 2: a ``persyst`` job operator in the Collect Agent queries the
+  running jobs each interval, builds one unit per job spanning all its
+  allocated nodes' cores, and emits the deciles of the job-wide CPI
+  distribution as new sensors under ``/jobs/<id>/``.
+
+Two jobs run concurrently (LAMMPS: compute-bound, low tight CPI;
+Kripke: iteration-structured, swinging CPI); the script prints their
+decile series side by side so the application signatures are visible.
+
+Run:  python examples/job_analysis.py      (~30 seconds)
+"""
+
+import numpy as np
+
+from repro.common.timeutil import NS_PER_SEC
+from repro.core import OperatorManager, Pipeline, PipelineStage
+from repro.dcdb import Broker, CollectAgent, Pusher
+from repro.dcdb.plugins import PerfeventPlugin
+from repro.simulator import ClusterSimulator, ClusterSpec
+from repro.simulator.clock import TaskScheduler
+from repro.simulator.scheduler import Job
+
+RUN_S = 150
+
+
+def main() -> None:
+    sim = ClusterSimulator(ClusterSpec.small(nodes=4, cpus=8), seed=3)
+    scheduler = TaskScheduler()
+    broker = Broker()
+
+    pushers, managers = {}, {}
+    for node in sim.node_paths:
+        pusher = Pusher(node, broker, scheduler)
+        pusher.add_plugin(
+            PerfeventPlugin(sim, node, counters=("cpu-cycles", "instructions"))
+        )
+        manager = OperatorManager()
+        pusher.attach_analytics(manager)
+        pushers[node], managers[node] = pusher, manager
+    agent = CollectAgent("agent", broker, scheduler)
+    agent_manager = OperatorManager(context={"job_source": sim.scheduler})
+    agent.attach_analytics(agent_manager)
+
+    sim.scheduler.add_job(
+        Job("lammps-run", "lammps", tuple(sim.node_paths[:2]),
+            2 * NS_PER_SEC, (RUN_S + 2) * NS_PER_SEC)
+    )
+    sim.scheduler.add_job(
+        Job("kripke-run", "kripke", tuple(sim.node_paths[2:]),
+            2 * NS_PER_SEC, (RUN_S + 2) * NS_PER_SEC)
+    )
+
+    perfmetrics_cfg = {
+        "plugin": "perfmetrics",
+        "operators": {
+            "cpi": {
+                "interval_s": 1,
+                "window_s": 2,
+                "delay_s": 2,
+                "inputs": ["<bottomup>cpu-cycles", "<bottomup>instructions"],
+                "outputs": ["<bottomup>cpi"],
+            }
+        },
+    }
+    # Stage 1 on every pusher.
+    Pipeline(
+        [PipelineStage(managers[n], perfmetrics_cfg, f"cpi@{n}")
+         for n in sim.node_paths]
+    ).deploy()
+    scheduler.run_until(6 * NS_PER_SEC)  # let CPI sensors appear
+
+    # Stage 2 on the collect agent.
+    Pipeline(
+        [
+            PipelineStage(
+                agent_manager,
+                {
+                    "plugin": "persyst",
+                    "operators": {
+                        "job-cpi": {
+                            "interval_s": 1,
+                            "window_s": 3,
+                            "delay_s": 2,
+                            "inputs": ["<bottomup, filter cpu>cpi"],
+                        }
+                    },
+                },
+                "persyst",
+            )
+        ]
+    ).deploy()
+
+    scheduler.run_until((RUN_S + 2) * NS_PER_SEC)
+    agent.flush()
+
+    def decile(job, d):
+        ts, values = agent.storage.query(f"/jobs/{job}/decile{d}", 0, 2**62)
+        return np.asarray(ts) / NS_PER_SEC, np.asarray(values)
+
+    print("per-job CPI deciles (16 cores per job):\n")
+    print("          LAMMPS                       KRIPKE")
+    print("time    d0    d5    d10     |     d0    d5    d10")
+    lts, l0 = decile("lammps-run", 0)
+    _, l5 = decile("lammps-run", 5)
+    _, l10 = decile("lammps-run", 10)
+    _, k0 = decile("kripke-run", 0)
+    _, k5 = decile("kripke-run", 5)
+    _, k10 = decile("kripke-run", 10)
+    n = min(len(l0), len(k0))
+    for i in range(0, n, 10):
+        print(
+            f"{lts[i]:5.0f} {l0[i]:5.2f} {l5[i]:5.2f} {l10[i]:6.2f}"
+            f"     |  {k0[i]:5.2f} {k5[i]:5.2f} {k10[i]:6.2f}"
+        )
+    print(
+        f"\nLAMMPS: median CPI {np.median(l5):.2f}, spread "
+        f"{np.median(l10 - l0[:len(l10)]):.2f} (compute-bound: low, tight)"
+    )
+    print(
+        f"Kripke: CPI swings {k5.min():.1f}..{k5.max():.1f} "
+        f"(sweep iterations clearly separable)"
+    )
+    from repro.common.textplot import ascii_plot
+
+    print()
+    print(
+        ascii_plot(
+            {"d0": k0, "d5": k5, "d10": k10},
+            width=72,
+            height=12,
+            title="Fig 7 equivalent: Kripke CPI deciles over time",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,254 @@
+"""Command-line interface for simulated deployments.
+
+DCDB ships operator tools (``dcdbconfig``, ``dcdbquery``) next to its
+daemons; this module provides the reproduction's equivalent over a
+declarative deployment file (see :mod:`repro.deploy`):
+
+``python -m repro.cli run --config dep.json --duration 60``
+    Build the deployment, run it for the given simulated duration, and
+    print a traffic summary.
+
+``python -m repro.cli sensors --config dep.json --duration 5 [--match RE]``
+    List the sensor topics visible at the Collect Agent.
+
+``python -m repro.cli query --config dep.json --duration 60 --topic T``
+    Run, then print one topic's series (with a terminal sparkline).
+
+``python -m repro.cli plugins``
+    List the operator plugins available to configuration blocks.
+
+``python -m repro.cli report --config dep.json --duration 60``
+    Run, then print a full deployment report: topology, traffic,
+    operators, and sparklines of the busiest sensors.
+
+``run --snapshot out.npz`` additionally archives the Collect Agent's
+storage to a compressed file loadable with ``StorageBackend.load``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import List, Optional
+
+from repro.common.textplot import sparkline
+from repro.core.registry import available_plugins
+from repro.deploy import build_deployment
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _build_and_run(args):
+    dep = build_deployment(_load(args.config))
+    dep.run(args.duration)
+    dep.agent.flush()
+    return dep
+
+
+def cmd_run(args) -> int:
+    """`run`: execute the deployment and print a traffic/operator summary."""
+    dep = _build_and_run(args)
+    storage = dep.agent.storage
+    print(f"simulated {args.duration:.0f}s on {len(dep.pushers)} nodes")
+    print(f"sensors: {len(dep.agent.sensor_topics())}")
+    print(f"readings stored: {storage.total_readings():,}")
+    print(f"mqtt messages: {dep.broker.published_count:,} published, "
+          f"{dep.broker.delivered_count:,} delivered")
+    operators = [
+        op for m in list(dep.managers.values()) + [dep.agent_manager]
+        for op in m.operators()
+    ]
+    if operators:
+        print("operators:")
+        for op in operators:
+            stats = op.stats()
+            print(
+                f"  {stats['name']:24s} {stats['units']:5d} units "
+                f"{stats['computes']:6d} computes {stats['errors']:4d} errors"
+            )
+    if getattr(args, "snapshot", None):
+        n = storage.save(args.snapshot)
+        print(f"snapshot: {n} series -> {args.snapshot}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """`report`: execute and print a full markdown deployment report."""
+    dep = _build_and_run(args)
+    spec = dep.sim.spec
+    print("# Deployment report\n")
+    print("## Topology")
+    print(f"- nodes: {len(dep.sim.node_paths)} "
+          f"({spec.cpus_per_node} cores each), "
+          f"racks: {len(dep.sim.topology.rack_paths)}")
+    print(f"- simulated duration: {args.duration:.0f}s")
+    print(f"- jobs scheduled: {len(dep.sim.scheduler.all_jobs())}")
+    print("\n## Data plane")
+    print(f"- sensors: {len(dep.agent.sensor_topics())}")
+    print(f"- readings stored: {dep.agent.storage.total_readings():,}")
+    print(f"- mqtt: {dep.broker.published_count:,} published / "
+          f"{dep.broker.delivered_count:,} delivered / "
+          f"{dep.broker.handler_errors} handler errors")
+    cache_mb = sum(
+        c.memory_bytes() for p in dep.pushers.values()
+        for c in p.caches.values()
+    ) / 2**20
+    print(f"- pusher cache memory (total): {cache_mb:.1f} MB")
+    print("\n## Analytics")
+    operators = [
+        op for m in list(dep.managers.values()) + [dep.agent_manager]
+        for op in m.operators()
+    ]
+    if not operators:
+        print("- (no operators configured)")
+    for op in operators:
+        stats = op.stats()
+        print(
+            f"- `{stats['name']}` [{stats['mode']}/{stats['unit_mode']}]: "
+            f"{stats['units']} units, {stats['computes']} computes, "
+            f"{stats['errors']} errors, "
+            f"{stats['busy_ns'] / 1e6:.1f} ms busy"
+        )
+    print("\n## Busiest sensors")
+    counts = [
+        (dep.agent.storage.count(t), t) for t in dep.agent.storage.topics()
+    ]
+    for count, topic in sorted(counts, reverse=True)[:8]:
+        _, values = dep.series(topic)
+        print(f"- `{topic}` ({count} readings)")
+        print(f"  `[{sparkline(values, width=56)}]`")
+    return 0
+
+
+def cmd_sensors(args) -> int:
+    """`sensors`: list the Collect Agent's sensor topics."""
+    dep = _build_and_run(args)
+    pattern = re.compile(args.match) if args.match else None
+    for topic in dep.agent.sensor_topics():
+        if pattern is None or pattern.search(topic):
+            print(topic)
+    return 0
+
+
+def cmd_query(args) -> int:
+    """`query`: print one topic's series with summary statistics."""
+    dep = _build_and_run(args)
+    ts, values = dep.series(args.topic)
+    if len(values) == 0:
+        print(f"no data for {args.topic}", file=sys.stderr)
+        return 1
+    print(f"{args.topic}: {len(values)} readings, "
+          f"t = {ts[0]:.1f}..{ts[-1]:.1f}s")
+    print(f"min {values.min():.3f}  mean {values.mean():.3f}  "
+          f"max {values.max():.3f}")
+    print(f"[{sparkline(values)}]")
+    if args.tail:
+        for t, v in list(zip(ts, values))[-args.tail:]:
+            print(f"  {t:10.2f}s  {v:.4f}")
+    return 0
+
+
+def cmd_plugins(args) -> int:
+    """`plugins`: list the registered operator plugins."""
+    for name in available_plugins():
+        print(name)
+    return 0
+
+
+def cmd_tree(args) -> int:
+    """`tree`: render the deployment's sensor tree."""
+    dep = _build_and_run(args)
+    from repro.core.navigator import SensorNavigator
+
+    navigator = SensorNavigator.from_topics(dep.agent.sensor_topics())
+    tree = navigator.tree
+
+    def render(node, prefix=""):
+        children = sorted(node.children.values(), key=lambda n: n.name)
+        sensors = sorted(node.sensors)
+        entries = [(c.name, c) for c in children] + [
+            (s, None) for s in sensors
+        ]
+        for i, (name, child) in enumerate(entries):
+            last = i == len(entries) - 1
+            branch = "`-- " if last else "|-- "
+            if child is None:
+                print(f"{prefix}{branch}{name}")
+            else:
+                print(f"{prefix}{branch}{name}/")
+                render(child, prefix + ("    " if last else "|   "))
+
+    print("/")
+    render(tree.root)
+    print(
+        f"\n{tree.n_sensors} sensors, {tree.max_level + 1} component levels"
+    )
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Run and inspect simulated DCDB/Wintermute deployments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--config", required=True,
+                       help="deployment JSON file (see repro.deploy)")
+        p.add_argument("--duration", type=float, default=30.0,
+                       help="simulated seconds to run (default 30)")
+
+    p_run = sub.add_parser("run", help="run a deployment, print a summary")
+    add_common(p_run)
+    p_run.add_argument("--snapshot",
+                       help="save the agent's storage to this .npz file")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_report = sub.add_parser("report", help="run and print a full report")
+    add_common(p_report)
+    p_report.set_defaults(fn=cmd_report)
+
+    p_sensors = sub.add_parser("sensors", help="list sensor topics")
+    add_common(p_sensors)
+    p_sensors.add_argument("--match", help="regex filter on topics")
+    p_sensors.set_defaults(fn=cmd_sensors)
+
+    p_query = sub.add_parser("query", help="print one topic's series")
+    add_common(p_query)
+    p_query.add_argument("--topic", required=True)
+    p_query.add_argument("--tail", type=int, default=0,
+                         help="also print the last N readings")
+    p_query.set_defaults(fn=cmd_query)
+
+    p_plugins = sub.add_parser("plugins", help="list operator plugins")
+    p_plugins.set_defaults(fn=cmd_plugins)
+
+    p_tree = sub.add_parser("tree", help="print the sensor tree")
+    add_common(p_tree)
+    p_tree.set_defaults(fn=cmd_tree)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for `wintermute-sim` / `python -m repro.cli`."""
+    args = make_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

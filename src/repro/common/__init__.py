@@ -1,0 +1,74 @@
+"""Shared low-level utilities for the Wintermute reproduction.
+
+This package holds the primitives every other subsystem builds on:
+
+- :mod:`repro.common.timeutil` -- nanosecond timestamps and intervals,
+  mirroring DCDB's convention of 64-bit nanosecond epochs.
+- :mod:`repro.common.topics` -- MQTT-style, slash-separated sensor topics
+  and wildcard matching.
+- :mod:`repro.common.errors` -- the exception hierarchy.
+- :mod:`repro.common.rng` -- deterministic random-number helpers so that
+  simulations, tests and benchmarks are reproducible.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    TopicError,
+    ConfigError,
+    QueryError,
+    PluginError,
+    UnitResolutionError,
+    StorageError,
+)
+from repro.common.timeutil import (
+    NS_PER_US,
+    NS_PER_MS,
+    NS_PER_SEC,
+    Interval,
+    from_seconds,
+    from_millis,
+    to_seconds,
+    to_millis,
+)
+from repro.common.topics import (
+    SEP,
+    join_topic,
+    split_topic,
+    normalize_topic,
+    topic_depth,
+    sensor_name,
+    component_path,
+    is_ancestor,
+    topic_matches,
+)
+from repro.common.rng import make_rng, spawn_rng, derive_seed
+
+__all__ = [
+    "ReproError",
+    "TopicError",
+    "ConfigError",
+    "QueryError",
+    "PluginError",
+    "UnitResolutionError",
+    "StorageError",
+    "NS_PER_US",
+    "NS_PER_MS",
+    "NS_PER_SEC",
+    "Interval",
+    "from_seconds",
+    "from_millis",
+    "to_seconds",
+    "to_millis",
+    "SEP",
+    "join_topic",
+    "split_topic",
+    "normalize_topic",
+    "topic_depth",
+    "sensor_name",
+    "component_path",
+    "is_ancestor",
+    "topic_matches",
+    "make_rng",
+    "spawn_rng",
+    "derive_seed",
+]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the Wintermute reproduction.
+
+Every exception raised by this library derives from :class:`ReproError`,
+so callers embedding the framework (e.g. a Pusher main loop) can catch a
+single base class at component boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopicError(ReproError):
+    """An invalid sensor topic string (empty segments, bad characters)."""
+
+
+class ConfigError(ReproError):
+    """A malformed configuration block for a plugin, operator or host."""
+
+
+class QueryError(ReproError):
+    """A Query Engine request that cannot be satisfied.
+
+    Raised for unknown sensors, inverted time ranges, or queries issued
+    before the engine has been wired to a data source.
+    """
+
+
+class PluginError(ReproError):
+    """A plugin failed to load, start, stop or compute."""
+
+
+class UnitResolutionError(ReproError):
+    """A pattern unit could not be resolved against the sensor tree.
+
+    Per Section III-B of the paper, a unit whose pattern expressions match
+    no tree node "cannot be built"; this error carries which expression
+    failed and for which unit name.
+    """
+
+
+class StorageError(ReproError):
+    """The storage backend rejected an insert or a range query."""

@@ -1,0 +1,95 @@
+"""Terminal plotting helpers for examples and benchmark reports.
+
+The original paper presents its evaluation as figures; this reproduction
+prints the same series to the terminal.  Two primitives cover the needs:
+``sparkline`` compresses a series into one line of block characters, and
+``ascii_plot`` renders a multi-series line chart in a character grid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line intensity strip of a series, resampled to ``width``."""
+    v = np.asarray(values, dtype=np.float64)
+    v = v[np.isfinite(v)]
+    if v.size == 0:
+        return ""
+    if v.size > width:
+        edges = np.linspace(0, v.size, width + 1).astype(int)
+        v = np.array([v[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(v.min()), float(v.max())
+    span = hi - lo if hi > lo else 1.0
+    idx = ((v - lo) / span * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 14,
+    y_range: Optional[tuple] = None,
+    title: str = "",
+) -> str:
+    """Render one or more series as an ASCII line chart.
+
+    Each series gets a marker character (``*+o#xs`` in order); the
+    y-axis is annotated with the range.  Series are resampled to the
+    plot width, so arbitrary lengths work.
+    """
+    markers = "*+o#xs%&"
+    grid = [[" "] * width for _ in range(height)]
+    finite = [
+        np.asarray(v, dtype=np.float64)[
+            np.isfinite(np.asarray(v, dtype=np.float64))
+        ]
+        for v in series.values()
+    ]
+    finite = [v for v in finite if v.size]
+    if not finite:
+        return "(no data)"
+    if y_range is None:
+        lo = min(float(v.min()) for v in finite)
+        hi = max(float(v.max()) for v in finite)
+    else:
+        lo, hi = y_range
+    span = hi - lo if hi > lo else 1.0
+    for (name, values), marker in zip(series.items(), markers):
+        v = np.asarray(values, dtype=np.float64)
+        if v.size == 0:
+            continue
+        if v.size > width:
+            edges = np.linspace(0, v.size, width + 1).astype(int)
+            v = np.array(
+                [
+                    v[a:b][np.isfinite(v[a:b])].mean()
+                    if np.isfinite(v[a:b]).any()
+                    else np.nan
+                    for a, b in zip(edges[:-1], edges[1:])
+                ]
+            )
+        xs = np.linspace(0, width - 1, v.size).astype(int)
+        for x, value in zip(xs, v):
+            if not np.isfinite(value):
+                continue
+            y = int(round((value - lo) / span * (height - 1)))
+            y = min(max(y, 0), height - 1)
+            grid[height - 1 - y][x] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(f"{hi:>10.2f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{lo:>10.2f} +" + "-" * width)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

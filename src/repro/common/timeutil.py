@@ -1,0 +1,70 @@
+"""Nanosecond timestamp arithmetic.
+
+DCDB stores every sensor reading with a 64-bit nanosecond epoch timestamp;
+all internal APIs in this reproduction follow the same convention.  Plain
+Python ints are used (they are exact and cheap), while bulk timestamp
+columns inside caches and the storage backend are ``numpy.int64`` arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def from_seconds(seconds: float) -> int:
+    """Convert seconds to an integer nanosecond count."""
+    return int(round(seconds * NS_PER_SEC))
+
+
+def from_millis(millis: float) -> int:
+    """Convert milliseconds to an integer nanosecond count."""
+    return int(round(millis * NS_PER_MS))
+
+
+def to_seconds(ns: int) -> float:
+    """Convert a nanosecond count to float seconds."""
+    return ns / NS_PER_SEC
+
+
+def to_millis(ns: int) -> float:
+    """Convert a nanosecond count to float milliseconds."""
+    return ns / NS_PER_MS
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open time range ``[start, end)`` in nanoseconds.
+
+    Used by the Query Engine for absolute-timestamp queries and by the
+    storage backend for range scans.  ``start`` must not exceed ``end``.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(
+                f"interval start {self.start} exceeds end {self.end}"
+            )
+
+    @property
+    def span(self) -> int:
+        """Length of the interval in nanoseconds."""
+        return self.end - self.start
+
+    def contains(self, ts: int) -> bool:
+        """Whether ``ts`` falls inside the half-open range."""
+        return self.start <= ts < self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether two half-open intervals intersect."""
+        return self.start < other.end and other.start < self.end
+
+    def clamp(self, ts: int) -> int:
+        """Clamp ``ts`` into ``[start, end]``."""
+        return min(max(ts, self.start), self.end)

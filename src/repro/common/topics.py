@@ -1,0 +1,101 @@
+"""MQTT-style sensor topics.
+
+Sensor keys in DCDB are forward-slash separated strings that express the
+physical or logical placement of a sensor in the HPC system, e.g.::
+
+    /rack4/chassis2/server3/power
+
+The last segment names the sensor itself; the preceding path names the
+component it belongs to (Section III-A of the paper).  This module
+implements parsing, normalisation and MQTT wildcard matching (``+`` for a
+single level, ``#`` for a multi-level suffix).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.common.errors import TopicError
+
+SEP = "/"
+
+_SINGLE_WILDCARD = "+"
+_MULTI_WILDCARD = "#"
+
+
+def split_topic(topic: str) -> List[str]:
+    """Split a topic into its non-empty segments.
+
+    Raises :class:`TopicError` if the topic is empty or contains empty
+    segments (``//``) anywhere but as the leading/trailing slash.
+    """
+    if not topic:
+        raise TopicError("empty topic")
+    parts = [p for p in topic.strip(SEP).split(SEP)]
+    if not parts or any(p == "" for p in parts):
+        raise TopicError(f"malformed topic: {topic!r}")
+    return parts
+
+
+def join_topic(parts: Sequence[str]) -> str:
+    """Join segments into a canonical, leading-slash topic string."""
+    for p in parts:
+        if not p or SEP in p:
+            raise TopicError(f"invalid topic segment: {p!r}")
+    return SEP + SEP.join(parts)
+
+
+def normalize_topic(topic: str) -> str:
+    """Return the canonical form: leading slash, no trailing slash."""
+    return join_topic(split_topic(topic))
+
+
+def topic_depth(topic: str) -> int:
+    """Number of segments in the topic."""
+    return len(split_topic(topic))
+
+
+def sensor_name(topic: str) -> str:
+    """The final segment, i.e. the sensor's own name."""
+    return split_topic(topic)[-1]
+
+
+def component_path(topic: str) -> str:
+    """The topic of the component owning the sensor (all but the last
+    segment).  For a single-segment topic this is the root ``/``."""
+    parts = split_topic(topic)
+    if len(parts) == 1:
+        return SEP
+    return join_topic(parts[:-1])
+
+
+def is_ancestor(ancestor: str, descendant: str) -> bool:
+    """Whether ``ancestor`` is a strict prefix path of ``descendant``.
+
+    The root ``/`` is an ancestor of every other topic.
+    """
+    if ancestor.strip(SEP) == "":
+        return descendant.strip(SEP) != ""
+    a = split_topic(ancestor)
+    d = split_topic(descendant)
+    return len(a) < len(d) and d[: len(a)] == a
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """MQTT-style wildcard match of ``topic`` against ``pattern``.
+
+    ``+`` matches exactly one level; ``#`` matches any suffix (including
+    an empty one) and must be the final segment of the pattern.
+    """
+    pparts = split_topic(pattern)
+    tparts = split_topic(topic)
+    if _MULTI_WILDCARD in pparts[:-1]:
+        raise TopicError(f"'#' must be the last pattern segment: {pattern!r}")
+    for i, pp in enumerate(pparts):
+        if pp == _MULTI_WILDCARD:
+            return True
+        if i >= len(tparts):
+            return False
+        if pp != _SINGLE_WILDCARD and pp != tparts[i]:
+            return False
+    return len(pparts) == len(tparts)

@@ -1,0 +1,64 @@
+"""Wintermute: the paper's core contribution.
+
+The framework follows Figure 4 of the paper:
+
+- :mod:`repro.core.tree` and :mod:`repro.core.pattern` implement the
+  *Unit System* of Section III: the hierarchical sensor tree plus the
+  ``<topdown+k>`` / ``<bottomup-k, filter ...>`` pattern expressions.
+- :mod:`repro.core.units` resolves pattern units into concrete units —
+  the three-step generation of Section V-C-2.
+- :mod:`repro.core.navigator` is the Sensor Navigator plugins use to
+  explore the sensor space.
+- :mod:`repro.core.queryengine` is the Query Engine: cache-first sensor
+  queries in O(1) relative or O(log N) absolute mode, with storage
+  fallback on Collect Agents.
+- :mod:`repro.core.operator` defines the operator interface (online /
+  on-demand modes, sequential / parallel unit management, operator-level
+  outputs, job operators).
+- :mod:`repro.core.configurator` + :mod:`repro.core.registry` turn
+  configuration blocks into operator instances.
+- :mod:`repro.core.manager` is the Operator Manager: plugin lifecycle,
+  scheduling, REST control.
+- :mod:`repro.core.pipeline` wires multi-host analysis pipelines.
+"""
+
+from repro.core.tree import SensorTree, TreeNode
+from repro.core.pattern import PatternExpression
+from repro.core.units import Unit, UnitResolver
+from repro.core.navigator import SensorNavigator
+from repro.core.queryengine import QueryEngine
+from repro.core.operator import (
+    OperatorBase,
+    OperatorConfig,
+    JobOperatorBase,
+    UnitResult,
+)
+from repro.core.configurator import Configurator
+from repro.core.registry import (
+    register_operator_plugin,
+    operator_plugin,
+    available_plugins,
+)
+from repro.core.manager import OperatorManager
+from repro.core.pipeline import Pipeline, PipelineStage
+
+__all__ = [
+    "SensorTree",
+    "TreeNode",
+    "PatternExpression",
+    "Unit",
+    "UnitResolver",
+    "SensorNavigator",
+    "QueryEngine",
+    "OperatorBase",
+    "OperatorConfig",
+    "JobOperatorBase",
+    "UnitResult",
+    "Configurator",
+    "register_operator_plugin",
+    "operator_plugin",
+    "available_plugins",
+    "OperatorManager",
+    "Pipeline",
+    "PipelineStage",
+]

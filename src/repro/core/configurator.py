@@ -1,0 +1,142 @@
+"""The Configurator (Section V-C-2).
+
+A configurator reads a plugin's configuration block and instantiates
+operators accordingly, together with their units.  Configuration is a
+plain dict (trivially loadable from JSON), shaped like::
+
+    {
+        "plugin": "aggregator",
+        "operators": {
+            "avgpower": {
+                "interval_ms": 1000,
+                "mode": "online",
+                "unit_mode": "sequential",
+                "window_ms": 5000,
+                "inputs": ["<bottomup-1, filter node>power"],
+                "outputs": ["<topdown>avg-power"],
+                "params": {"op": "mean"}
+            }
+        }
+    }
+
+Time quantities accept ``*_ms``, ``*_s`` or ``*_ns`` suffixes.  The
+small configuration block above instantiates one operator whose pattern
+unit may expand to thousands of concrete units — the scaling property
+Section III-C is after.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.timeutil import NS_PER_MS, NS_PER_SEC
+from repro.core.operator import OperatorBase, OperatorConfig
+from repro.core.registry import create_operator
+
+_TIME_FIELDS = ("interval", "window", "delay")
+_BOOL_FIELDS = ("relaxed", "publish_outputs")
+
+
+def _read_time(block: dict, base: str, default_ns: int) -> int:
+    """Read a time field accepting _ns/_ms/_s suffixed spellings."""
+    spellings = [
+        (f"{base}_ns", 1),
+        (f"{base}_ms", NS_PER_MS),
+        (f"{base}_s", NS_PER_SEC),
+    ]
+    found = [(k, m) for k, m in spellings if k in block]
+    if len(found) > 1:
+        raise ConfigError(f"conflicting time spellings for {base!r}")
+    if not found:
+        return default_ns
+    key, mult = found[0]
+    value = block[key]
+    if not isinstance(value, (int, float)) or value < 0:
+        raise ConfigError(f"{key} must be a non-negative number")
+    return int(value * mult)
+
+
+def parse_operator_config(name: str, block: dict) -> OperatorConfig:
+    """Turn one operator's configuration block into an OperatorConfig."""
+    known = {
+        "mode",
+        "unit_mode",
+        "inputs",
+        "outputs",
+        "operator_outputs",
+        "params",
+        "max_workers",
+        "unit_cadence",
+        "relaxed",
+        "publish_outputs",
+    } | {f"{b}_{s}" for b in _TIME_FIELDS for s in ("ns", "ms", "s")}
+    unknown = set(block) - known
+    if unknown:
+        raise ConfigError(
+            f"operator {name!r}: unknown config keys {sorted(unknown)}"
+        )
+    kwargs = dict(
+        name=name,
+        interval_ns=_read_time(block, "interval", NS_PER_SEC),
+        window_ns=_read_time(block, "window", 0),
+        delay_ns=_read_time(block, "delay", 0),
+    )
+    for key in ("mode", "unit_mode", "max_workers", "unit_cadence"):
+        if key in block:
+            kwargs[key] = block[key]
+    for key in _BOOL_FIELDS:
+        if key in block:
+            if not isinstance(block[key], bool):
+                raise ConfigError(f"operator {name!r}: {key} must be a bool")
+            kwargs[key] = block[key]
+    for key in ("inputs", "outputs", "operator_outputs"):
+        if key in block:
+            value = block[key]
+            if not isinstance(value, list) or not all(
+                isinstance(v, str) for v in value
+            ):
+                raise ConfigError(
+                    f"operator {name!r}: {key} must be a list of strings"
+                )
+            kwargs[key] = list(value)
+    if "params" in block:
+        if not isinstance(block["params"], dict):
+            raise ConfigError(f"operator {name!r}: params must be a dict")
+        kwargs["params"] = dict(block["params"])
+    return OperatorConfig(**kwargs)
+
+
+class Configurator:
+    """Builds the operators of one plugin configuration block."""
+
+    def __init__(self, config: dict, context: Optional[Dict[str, object]] = None):
+        if "plugin" not in config:
+            raise ConfigError("plugin configuration must name its 'plugin'")
+        operators = config.get("operators")
+        if not isinstance(operators, dict) or not operators:
+            raise ConfigError(
+                f"plugin {config['plugin']!r}: 'operators' must be a "
+                f"non-empty mapping"
+            )
+        self.plugin_name: str = config["plugin"]
+        self._blocks: Dict[str, dict] = operators
+        self._context = dict(context or {})
+
+    def operator_configs(self) -> List[OperatorConfig]:
+        """Parsed configurations, one per declared operator."""
+        return [
+            parse_operator_config(name, block)
+            for name, block in self._blocks.items()
+        ]
+
+    def build(self) -> List[OperatorBase]:
+        """Instantiate every operator declared in the block.
+
+        Unit resolution happens later (``OperatorManager.load_plugin``),
+        once the operator is bound to a host whose sensor tree is known.
+        """
+        return [
+            create_operator(self.plugin_name, cfg, self._context)
+            for cfg in self.operator_configs()
+        ]

@@ -1,0 +1,197 @@
+"""The Operator Manager (Section V-A).
+
+The central entity responsible for reading Wintermute configuration,
+loading operator plugins and managing their life cycle.  It is the main
+interface between Wintermute and DCDB: once bound to a host (Pusher or
+Collect Agent) it owns that host's Query Engine, schedules online
+operators on the host's task scheduler, and registers the ODA RESTful
+routes (start/stop/reload, on-demand triggering) on the host's API.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError, PluginError
+from repro.core.configurator import Configurator
+from repro.core.operator import JobOperatorBase, OperatorBase
+from repro.core.queryengine import QueryEngine
+from repro.dcdb.restapi import RestResponse
+
+
+class OperatorManager:
+    """Plugin lifecycle and scheduling for one analytics host.
+
+    Args:
+        context: host-level context injected into operator constructors
+            that declare matching parameters — most importantly
+            ``job_source`` for job operator plugins.
+    """
+
+    def __init__(self, context: Optional[Dict[str, object]] = None) -> None:
+        self.host = None
+        self.engine: Optional[QueryEngine] = None
+        self._context: Dict[str, object] = dict(context or {})
+        self._operators: Dict[str, OperatorBase] = {}
+        self._plugin_of: Dict[str, str] = {}
+        self._tasks: Dict[str, object] = {}
+        self.analytics_busy_ns = 0
+
+    # ------------------------------------------------------------------
+    # Host binding
+    # ------------------------------------------------------------------
+
+    def bind_host(self, host) -> None:
+        """Attach to a Pusher or Collect Agent (its ``attach_analytics``
+        calls this)."""
+        self.host = host
+        self.engine = QueryEngine(host)
+        self._context.setdefault("host", host)
+        host.rest.register("GET", "/analytics/operators", self._route_list)
+        host.rest.register("PUT", "/analytics/operators", self._route_action)
+        host.rest.register("GET", "/analytics/plugins", self._route_plugins)
+
+    def _require_host(self) -> None:
+        if self.host is None or self.engine is None:
+            raise PluginError("OperatorManager is not bound to a host")
+
+    # ------------------------------------------------------------------
+    # Plugin loading
+    # ------------------------------------------------------------------
+
+    def load_plugin(self, config: dict, start: bool = True) -> List[OperatorBase]:
+        """Load one plugin configuration block.
+
+        Builds its operators, resolves their units against the host's
+        current sensor tree, schedules the online ones and (optionally)
+        starts them.  Returns the created operators.
+        """
+        self._require_host()
+        assert self.engine is not None
+        configurator = Configurator(config, self._context)
+        operators = configurator.build()
+        for op in operators:
+            if op.name in self._operators:
+                raise ConfigError(f"duplicate operator name {op.name!r}")
+        # Pipelines: upstream stages may have created sensors after this
+        # engine was built — resolve against the freshest sensor space.
+        self.engine.refresh_navigator()
+        tree = self.engine.navigator.tree
+        for op in operators:
+            op.bind(self.host, self.engine)
+            op.init_units(tree)
+            self._operators[op.name] = op
+            self._plugin_of[op.name] = configurator.plugin_name
+            if op.config.mode == "online":
+                task = self.host.scheduler.add_callback(
+                    f"{self.host.name}:analytics:{op.name}",
+                    lambda ts, o=op: self._run_operator(o, ts),
+                    op.config.interval_ns,
+                    first_due=self.host.scheduler.clock.now + op.config.delay_ns,
+                )
+                self._tasks[op.name] = task
+            if start:
+                op.start()
+        return operators
+
+    def _run_operator(self, op: OperatorBase, ts: int) -> None:
+        t0 = time.perf_counter_ns()
+        op.compute(ts)
+        self.analytics_busy_ns += time.perf_counter_ns() - t0
+
+    def unload_operator(self, name: str) -> None:
+        """Stop and forget one operator (its task is disabled)."""
+        op = self._operators.pop(name, None)
+        if op is None:
+            raise PluginError(f"no operator {name!r}")
+        op.stop()
+        task = self._tasks.pop(name, None)
+        if task is not None:
+            task.enabled = False
+        self._plugin_of.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Operator access and control
+    # ------------------------------------------------------------------
+
+    def operator(self, name: str) -> OperatorBase:
+        """Look up an operator by instance name."""
+        try:
+            return self._operators[name]
+        except KeyError:
+            raise PluginError(f"no operator {name!r}") from None
+
+    def operators(self) -> List[OperatorBase]:
+        """All managed operators."""
+        return list(self._operators.values())
+
+    def start_operator(self, name: str) -> None:
+        """Enable an operator's computation."""
+        self.operator(name).start()
+
+    def stop_operator(self, name: str) -> None:
+        """Disable an operator's computation."""
+        self.operator(name).stop()
+
+    def trigger(self, name: str, unit_name: str, ts: Optional[int] = None) -> dict:
+        """Invoke an on-demand operator for one unit (Section IV-b)."""
+        self._require_host()
+        assert self.engine is not None
+        op = self.operator(name)
+        when = ts if ts is not None else self.host.scheduler.clock.now
+        if isinstance(op, JobOperatorBase):
+            op.refresh_units(when)
+        t0 = time.perf_counter_ns()
+        try:
+            return op.trigger(unit_name, when, self.engine.navigator.tree)
+        finally:
+            self.analytics_busy_ns += time.perf_counter_ns() - t0
+
+    def refresh_sensor_space(self) -> None:
+        """Rebuild the Query Engine's navigator from the host's topics."""
+        self._require_host()
+        assert self.engine is not None
+        self.engine.refresh_navigator()
+
+    # ------------------------------------------------------------------
+    # REST routes
+    # ------------------------------------------------------------------
+
+    def _route_plugins(self, request) -> RestResponse:
+        return RestResponse.json({"plugins": sorted(set(self._plugin_of.values()))})
+
+    def _route_list(self, request) -> RestResponse:
+        return RestResponse.json(
+            {"operators": [op.stats() for op in self._operators.values()]}
+        )
+
+    def _route_action(self, request) -> RestResponse:
+        parts = request.path.strip("/").split("/")
+        # /analytics/operators/<name>/<action>
+        if len(parts) != 4:
+            return RestResponse.error(
+                "expected /analytics/operators/<name>/<action>", 400
+            )
+        name, action = parts[2], parts[3]
+        try:
+            if action == "start":
+                self.start_operator(name)
+                return RestResponse.json({"operator": name, "action": "start"})
+            if action == "stop":
+                self.stop_operator(name)
+                return RestResponse.json({"operator": name, "action": "stop"})
+            if action == "unload":
+                self.unload_operator(name)
+                return RestResponse.json({"operator": name, "action": "unload"})
+            if action == "compute":
+                unit = request.param("unit")
+                if unit is None:
+                    return RestResponse.error("missing 'unit' parameter", 400)
+                values = self.trigger(name, unit)
+                return RestResponse.json({"unit": unit, "values": values})
+        except PluginError as exc:
+            return RestResponse.error(str(exc), 404)
+        except Exception as exc:  # bad unit names, resolution failures
+            return RestResponse.error(str(exc), 400)
+        return RestResponse.error(f"unknown action {action!r}", 400)

@@ -1,0 +1,429 @@
+"""Operator interface (Sections IV and V-C).
+
+Operators are the computational entities performing ODA tasks.  Each
+operator owns a set of units; when computation is invoked it iterates
+through them, queries the input sensors through the Query Engine,
+processes the readings, and stores results in the output sensors.
+
+Configuration knobs follow the paper's workflow options:
+
+- **mode**: ``online`` operators are invoked at regular intervals and
+  produce time-series-like output; ``ondemand`` operators compute only
+  when triggered through the REST API, returning (not storing) results.
+- **unit management**: ``sequential`` units share one model and are
+  processed in order (race-free); ``parallel`` units each get their own
+  model instance and may be computed by a worker pool.
+- **delay**: online operators can defer their first invocation, useful
+  for pipeline stages that must wait for upstream data.
+- **operator-level outputs**: aggregate sensors computed across all
+  unit results (e.g. the average error of a model over its units).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from repro.common.errors import ConfigError, PluginError, QueryError
+from repro.common.timeutil import NS_PER_SEC
+from repro.dcdb.sensor import Sensor
+from repro.core.queryengine import QueryEngine
+from repro.core.tree import SensorTree
+from repro.core.units import Unit, UnitResolver
+
+MODES = ("online", "ondemand")
+UNIT_MODES = ("sequential", "parallel")
+
+
+@dataclass
+class OperatorConfig:
+    """Declarative configuration of one operator.
+
+    Attributes:
+        name: operator instance name, unique within its manager.
+        interval_ns: computation interval for online operators.
+        mode: ``online`` or ``ondemand``.
+        unit_mode: ``sequential`` (shared model) or ``parallel``
+            (per-unit models, optional worker pool).
+        window_ns: length of the input window operators query at each
+            computation (0 = most recent value only).
+        delay_ns: initial delay before the first online computation.
+        relaxed: tolerate unbuildable units during resolution.
+        publish_outputs: publish output readings over MQTT.
+        max_workers: worker threads for parallel unit mode (1 = inline).
+        unit_cadence: compute each unit only every Nth pass, staggered
+            by unit index — spreads the load of operators with very
+            large unit sets across intervals (1 = every pass).
+        inputs / outputs: pattern expressions of the operator's units.
+        operator_outputs: names of operator-level aggregate outputs.
+        params: plugin-specific parameters.
+    """
+
+    name: str
+    interval_ns: int = NS_PER_SEC
+    mode: str = "online"
+    unit_mode: str = "sequential"
+    window_ns: int = 0
+    delay_ns: int = 0
+    relaxed: bool = False
+    publish_outputs: bool = True
+    max_workers: int = 1
+    unit_cadence: int = 1
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    operator_outputs: List[str] = field(default_factory=list)
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigError(f"operator {self.name}: bad mode {self.mode!r}")
+        if self.unit_mode not in UNIT_MODES:
+            raise ConfigError(
+                f"operator {self.name}: bad unit_mode {self.unit_mode!r}"
+            )
+        if self.interval_ns <= 0:
+            raise ConfigError(
+                f"operator {self.name}: interval must be positive"
+            )
+        if self.window_ns < 0 or self.delay_ns < 0:
+            raise ConfigError(
+                f"operator {self.name}: window/delay must be non-negative"
+            )
+        if self.max_workers < 1:
+            raise ConfigError(f"operator {self.name}: max_workers must be >= 1")
+        if self.unit_cadence < 1:
+            raise ConfigError(
+                f"operator {self.name}: unit_cadence must be >= 1"
+            )
+
+
+class UnitResult(NamedTuple):
+    """Output of one unit computation: output-name -> value."""
+
+    unit: Unit
+    values: Dict[str, float]
+
+
+class OperatorBase:
+    """Base class for all Wintermute operator plugins.
+
+    Subclasses implement :meth:`compute_unit` (and optionally
+    :meth:`make_model` and :meth:`compute_operator_outputs`).  The base
+    class handles unit resolution, model placement (shared vs per-unit),
+    scheduling hooks, result storage and bookkeeping.
+    """
+
+    def __init__(self, config: OperatorConfig) -> None:
+        self.config = config
+        self.units: List[Unit] = []
+        self.host = None
+        self.engine: Optional[QueryEngine] = None
+        self.enabled = False
+        self._shared_model = None
+        self._unit_models: Dict[str, object] = {}
+        self._operator_output_sensors: List[Sensor] = []
+        self.compute_count = 0
+        self.error_count = 0
+        self.busy_ns = 0
+        self.last_errors: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The operator instance name."""
+        return self.config.name
+
+    def bind(self, host, engine: QueryEngine) -> None:
+        """Attach the operator to its hosting component."""
+        self.host = host
+        self.engine = engine
+
+    def make_resolver(self) -> UnitResolver:
+        """The resolver for this operator's pattern unit."""
+        return UnitResolver(
+            inputs=self.config.inputs,
+            outputs=self.config.outputs,
+            relaxed=self.config.relaxed,
+            publish_outputs=self.config.publish_outputs,
+        )
+
+    def init_units(self, tree: SensorTree) -> None:
+        """Resolve the pattern unit against ``tree`` (Section V-C-2)."""
+        self.set_units(self.make_resolver().resolve(tree))
+
+    def set_units(self, units: Sequence[Unit]) -> None:
+        """Install pre-built units (used by tests and job operators)."""
+        self.units = list(units)
+        self._unit_models.clear()
+        self._shared_model = None
+        self._init_operator_outputs()
+
+    def _init_operator_outputs(self) -> None:
+        self._operator_output_sensors = [
+            Sensor(
+                topic=f"/analytics/{self.name}/{out_name}",
+                publish=self.config.publish_outputs,
+                is_operator_output=True,
+            )
+            for out_name in self.config.operator_outputs
+        ]
+
+    def start(self) -> None:
+        """Enable computation (the manager schedules the task)."""
+        self.enabled = True
+
+    def stop(self) -> None:
+        """Disable computation; the task stays registered but idle."""
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # Models
+    # ------------------------------------------------------------------
+
+    def make_model(self):
+        """Create one analysis model instance (None for stateless ops)."""
+        return None
+
+    def model_for(self, unit: Unit):
+        """The model bound to ``unit`` under the configured unit mode.
+
+        Sequential operators share a single model across units;
+        parallel operators keep one model per unit (Section IV-c).
+        """
+        if self.config.unit_mode == "sequential":
+            if self._shared_model is None:
+                self._shared_model = self.make_model()
+            return self._shared_model
+        model = self._unit_models.get(unit.name)
+        if model is None:
+            model = self._unit_models[unit.name] = self.make_model()
+        return model
+
+    # ------------------------------------------------------------------
+    # Computation
+    # ------------------------------------------------------------------
+
+    def compute_unit(self, unit: Unit, ts: int) -> Dict[str, float]:
+        """Analyse one unit at time ``ts``; map output names to values.
+
+        Output names must match the short names of the unit's output
+        sensors.  Returning an empty dict stores nothing for the unit
+        (useful while a model is still training).
+        """
+        raise NotImplementedError
+
+    def compute(self, ts: int) -> List[UnitResult]:
+        """One full computation pass over all units (online path)."""
+        if not self.enabled:
+            return []
+        t0 = time.perf_counter_ns()
+        results = self._compute_results(ts)
+        self._store_results(ts, results)
+        self._store_operator_outputs(ts, results)
+        self.compute_count += 1
+        self.busy_ns += time.perf_counter_ns() - t0
+        return results
+
+    def _compute_results(self, ts: int) -> List[UnitResult]:
+        """Produce the pass's unit results.
+
+        The default iterates units under the configured unit mode;
+        cross-unit operators (e.g. clustering, which fits one model over
+        all units' features) may override it wholesale.
+        """
+        results: List[UnitResult] = []
+        cadence = self.config.unit_cadence
+        if cadence > 1:
+            phase = self.compute_count % cadence
+            due_units = [
+                u for i, u in enumerate(self.units) if i % cadence == phase
+            ]
+        else:
+            due_units = self.units
+        if (
+            self.config.unit_mode == "parallel"
+            and self.config.max_workers > 1
+            and len(due_units) > 1
+        ):
+            with ThreadPoolExecutor(self.config.max_workers) as pool:
+                futures = [
+                    pool.submit(self._compute_one, unit, ts)
+                    for unit in due_units
+                ]
+                for future in futures:
+                    result = future.result()
+                    if result is not None:
+                        results.append(result)
+        else:
+            for unit in due_units:
+                result = self._compute_one(unit, ts)
+                if result is not None:
+                    results.append(result)
+        return results
+
+    def _compute_one(self, unit: Unit, ts: int) -> Optional[UnitResult]:
+        try:
+            values = self.compute_unit(unit, ts)
+        except (QueryError, PluginError, ValueError, KeyError) as exc:
+            # A failing unit must not take down the operator: count it
+            # and move on, like the production framework's error path.
+            self.error_count += 1
+            self.last_errors = (self.last_errors + [f"{unit.name}: {exc}"])[-16:]
+            return None
+        if not values:
+            return None
+        return UnitResult(unit, values)
+
+    def _store_results(self, ts: int, results: List[UnitResult]) -> None:
+        if self.host is None:
+            return
+        for unit, values in results:
+            for sensor in unit.outputs:
+                value = values.get(sensor.name)
+                if value is not None:
+                    self.host.store_reading(sensor, ts, float(value))
+
+    def _store_operator_outputs(self, ts: int, results: List[UnitResult]) -> None:
+        if not self._operator_output_sensors or self.host is None:
+            return
+        aggregates = self.compute_operator_outputs(ts, results)
+        for sensor in self._operator_output_sensors:
+            value = aggregates.get(sensor.name)
+            if value is not None:
+                self.host.store_reading(sensor, ts, float(value))
+
+    def compute_operator_outputs(
+        self, ts: int, results: List[UnitResult]
+    ) -> Dict[str, float]:
+        """Aggregate across unit results for operator-level outputs.
+
+        The default averages each output name over all units that
+        produced it — e.g. the mean model error of Section V-C-2.
+        Subclasses may override for other aggregates.
+        """
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for _, values in results:
+            for key, value in values.items():
+                sums[key] = sums.get(key, 0.0) + value
+                counts[key] = counts.get(key, 0) + 1
+        return {k: sums[k] / counts[k] for k in sums}
+
+    # ------------------------------------------------------------------
+    # On-demand path
+    # ------------------------------------------------------------------
+
+    def trigger(self, unit_name: str, ts: int, tree: SensorTree) -> Dict[str, float]:
+        """Compute one unit on demand and return (not store) the result.
+
+        This is the REST-triggered path of Section IV-b: the output is
+        propagated only as a response to the request.  Units already
+        resolved are reused; otherwise the unit is built on the fly.
+        """
+        unit = next((u for u in self.units if u.name == unit_name), None)
+        if unit is None:
+            unit = self.make_resolver().resolve_for_name(tree, unit_name)
+        return self.compute_unit(unit, ts)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Bookkeeping counters for the REST API and benchmarks."""
+        return {
+            "name": self.name,
+            "units": len(self.units),
+            "mode": self.config.mode,
+            "unit_mode": self.config.unit_mode,
+            "computes": self.compute_count,
+            "errors": self.error_count,
+            "busy_ns": self.busy_ns,
+        }
+
+
+class JobOperatorBase(OperatorBase):
+    """Operator whose units are jobs rather than tree nodes.
+
+    At each computation interval the operator queries the set of running
+    jobs and rebuilds one unit per job (Section VI-C: the persyst plugin
+    "queries the set of running jobs ... and for each of them it
+    instantiates a unit").  Subclasses provide ``job_output_names``.
+
+    Args:
+        config: standard operator config; ``inputs`` are resolved
+            against each allocated node's subtree.
+        job_source: object with ``running_jobs(ts)`` returning jobs with
+            ``job_id`` and ``node_paths`` — the scheduler substrate.
+    """
+
+    def __init__(self, config: OperatorConfig, job_source=None) -> None:
+        super().__init__(config)
+        self.job_source = job_source
+        self._tree: Optional[SensorTree] = None
+
+    def job_output_names(self) -> List[str]:
+        """Names of the per-job output sensors."""
+        raise NotImplementedError
+
+    def init_units(self, tree: SensorTree) -> None:
+        """Job units are dynamic; stash the tree and start empty."""
+        self._tree = tree
+        self.set_units([])
+
+    def refresh_units(self, ts: int) -> None:
+        """Rebuild units from the jobs running at ``ts``.
+
+        If a job fails to resolve, the sensor space is refreshed once
+        for the pass and the job retried — job operators typically load
+        before the upstream pipeline stages (or the monitoring itself)
+        have produced the sensors their inputs name.
+        """
+        from repro.core.units import resolve_job_unit
+
+        if self.job_source is None or self._tree is None:
+            return
+        refreshed = False
+        units = []
+        for job in self.job_source.running_jobs(ts):
+            for attempt in (0, 1):
+                try:
+                    units.append(
+                        resolve_job_unit(
+                            self._tree,
+                            job.job_id,
+                            job.node_paths,
+                            self.config.inputs,
+                            self.job_output_names(),
+                            publish_outputs=self.config.publish_outputs,
+                            relaxed=self.config.relaxed,
+                        )
+                    )
+                    break
+                except Exception as exc:  # unresolvable job
+                    if attempt == 0 and not refreshed and self.engine is not None:
+                        self.engine.refresh_navigator()
+                        self._tree = self.engine.navigator.tree
+                        refreshed = True
+                        continue
+                    self.error_count += 1
+                    self.last_errors = (
+                        self.last_errors + [f"{job.job_id}: {exc}"]
+                    )[-16:]
+                    break
+        # Preserve per-job models across refreshes in parallel mode.
+        kept = {u.name for u in units}
+        self._unit_models = {
+            name: m for name, m in self._unit_models.items() if name in kept
+        }
+        self.units = units
+
+    def compute(self, ts: int) -> List[UnitResult]:
+        if self.enabled:
+            self.refresh_units(ts)
+        return super().compute(ts)

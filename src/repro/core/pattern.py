@@ -1,0 +1,167 @@
+"""Pattern expressions (Sections III-B and III-C).
+
+A pattern expression describes a sensor relative to the sensor tree
+instead of naming it absolutely::
+
+    <topdown+1>power
+    <bottomup, filter cpu>cpu-cycles
+    <bottomup-1>healthy
+    power                      # no pattern: the unit's own node
+
+The angle-bracket prefix drives *vertical navigation*: ``topdown`` is the
+highest level of the tree (level 0, the root being excluded) and
+``bottomup`` the lowest, with relative offsets reaching the levels in
+between.  The optional ``filter`` clause drives *horizontal navigation*:
+a regular expression restricting which nodes of that level belong to the
+expression's *domain*.  An expression without brackets anchors at the
+unit's own node, like a bare relative path in a file system.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.errors import ConfigError
+from repro.core.tree import SensorTree, TreeNode
+
+_PATTERN_RE = re.compile(
+    r"""^<\s*
+        (?P<anchor>topdown|bottomup)
+        (?:\s*(?P<sign>[+-])\s*(?P<offset>\d+))?
+        (?:\s*,\s*filter\s+(?P<filter>[^>]+?))?
+        \s*>\s*
+        (?P<sensor>\S+)$""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class PatternExpression:
+    """A parsed pattern expression.
+
+    Attributes:
+        sensor: the sensor name (last topic segment) being requested.
+        anchor: ``'topdown'``, ``'bottomup'`` or ``'unit'`` (no
+            brackets: resolve at the unit's own node).
+        offset: level offset; positive values move *down* from
+            ``topdown`` and *up* from ``bottomup``, per the paper's
+            ``topdown+k`` / ``bottomup-k`` notation.
+        filter: optional regular expression applied to node names (or to
+            full paths when it contains a ``/``) for horizontal
+            filtering.
+    """
+
+    sensor: str
+    anchor: str = "unit"
+    offset: int = 0
+    filter: Optional[str] = None
+    _filter_re: Optional[re.Pattern] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.anchor not in ("unit", "topdown", "bottomup"):
+            raise ConfigError(f"invalid pattern anchor {self.anchor!r}")
+        if self.offset < 0:
+            raise ConfigError(
+                f"pattern offsets are written with their direction "
+                f"(topdown+k / bottomup-k); got negative {self.offset}"
+            )
+        if self.filter is not None:
+            try:
+                object.__setattr__(self, "_filter_re", re.compile(self.filter))
+            except re.error as exc:
+                raise ConfigError(
+                    f"invalid filter regex {self.filter!r}: {exc}"
+                ) from exc
+
+    # ------------------------------------------------------------------
+    # Parsing / formatting
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "PatternExpression":
+        """Parse the textual form used in configuration blocks."""
+        text = text.strip()
+        if not text:
+            raise ConfigError("empty pattern expression")
+        if not text.startswith("<"):
+            if "/" in text or "<" in text or ">" in text:
+                raise ConfigError(
+                    f"bare sensor names must be plain segments: {text!r}"
+                )
+            return cls(sensor=text)
+        match = _PATTERN_RE.match(text)
+        if match is None:
+            raise ConfigError(f"malformed pattern expression: {text!r}")
+        anchor = match.group("anchor")
+        sign = match.group("sign")
+        offset = int(match.group("offset") or 0)
+        if offset and (
+            (anchor == "topdown" and sign != "+")
+            or (anchor == "bottomup" and sign != "-")
+        ):
+            raise ConfigError(
+                f"{text!r}: topdown accepts '+' offsets, bottomup '-' offsets"
+            )
+        filt = match.group("filter")
+        return cls(
+            sensor=match.group("sensor"),
+            anchor=anchor,
+            offset=offset,
+            filter=filt.strip() if filt else None,
+        )
+
+    def __str__(self) -> str:
+        if self.anchor == "unit":
+            return self.sensor
+        off = ""
+        if self.offset:
+            off = f"+{self.offset}" if self.anchor == "topdown" else f"-{self.offset}"
+        filt = f", filter {self.filter}" if self.filter else ""
+        return f"<{self.anchor}{off}{filt}>{self.sensor}"
+
+    # ------------------------------------------------------------------
+    # Domain computation
+    # ------------------------------------------------------------------
+
+    def matches_node(self, node: TreeNode) -> bool:
+        """Whether ``node`` passes the expression's horizontal filter.
+
+        Filters containing a ``/`` match against the full component
+        path, others against the node's own name.
+        """
+        if self._filter_re is None:
+            return True
+        target = node.path if "/" in (self.filter or "") else node.name
+        return self._filter_re.search(target) is not None
+
+    # Backwards-compatible internal alias.
+    _passes_filter = matches_node
+
+    def domain(
+        self, tree: SensorTree, unit_node: Optional[TreeNode] = None
+    ) -> List[TreeNode]:
+        """The set of tree nodes this expression matches.
+
+        For ``unit``-anchored expressions the domain is the unit's own
+        node (which must then be supplied).  For ``topdown``/``bottomup``
+        anchors it is every node of the resolved level passing the
+        filter.
+        """
+        if self.anchor == "unit":
+            if unit_node is None:
+                raise ConfigError(
+                    f"expression {self!s} anchors at the unit but no unit "
+                    f"node was supplied"
+                )
+            return [unit_node]
+        level = tree.resolve_level(self.anchor, self.offset)
+        return [n for n in tree.nodes_at_level(level) if self._passes_filter(n)]
+
+
+def parse_expressions(texts: List[str]) -> List[PatternExpression]:
+    """Parse a list of configuration strings into expressions."""
+    return [PatternExpression.parse(t) for t in texts]

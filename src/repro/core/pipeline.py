@@ -1,0 +1,78 @@
+"""Analysis pipelines (Section IV-d).
+
+Because online operator outputs are ordinary DCDB sensors, operators can
+consume the outputs of other operators, forming multi-stage pipelines —
+possibly spanning hosts (Pushers computing derived metrics feeding a
+Collect Agent aggregation, as in the PerSyst case study) and ending in
+control operators that close feedback loops.
+
+This module adds a thin deployment helper: a :class:`Pipeline` is an
+ordered list of stages, each a plugin configuration targeted at a host.
+``deploy`` loads stages in order, refreshing each host's sensor space
+first so later stages can resolve pattern units against the sensors
+earlier stages (or remote hosts) publish.  Stage interval/delay settings
+remain the user's responsibility, exactly as in the real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigError
+from repro.core.manager import OperatorManager
+from repro.core.operator import OperatorBase
+
+
+@dataclass
+class PipelineStage:
+    """One stage: a plugin config loaded on one analytics manager."""
+
+    manager: OperatorManager
+    config: dict
+    #: Human-readable label for reporting.
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if "plugin" not in self.config:
+            raise ConfigError("pipeline stage config must name its 'plugin'")
+        if not self.label:
+            self.label = self.config["plugin"]
+
+
+class Pipeline:
+    """Ordered multi-stage analysis deployment."""
+
+    def __init__(self, stages: Sequence[PipelineStage]) -> None:
+        if not stages:
+            raise ConfigError("a pipeline needs at least one stage")
+        self.stages = list(stages)
+        self._operators: Dict[str, List[OperatorBase]] = {}
+
+    def deploy(self, start: bool = True) -> Dict[str, List[OperatorBase]]:
+        """Load every stage in order; returns operators per stage label.
+
+        Before each stage loads, its manager's sensor space is refreshed
+        so units can bind to sensors created by earlier stages.
+        """
+        for stage in self.stages:
+            stage.manager.refresh_sensor_space()
+            ops = stage.manager.load_plugin(stage.config, start=start)
+            self._operators.setdefault(stage.label, []).extend(ops)
+        return dict(self._operators)
+
+    def operators(self, label: str) -> List[OperatorBase]:
+        """Operators deployed under a stage label."""
+        return list(self._operators.get(label, ()))
+
+    def stop(self) -> None:
+        """Stop every deployed operator."""
+        for ops in self._operators.values():
+            for op in ops:
+                op.stop()
+
+    def start(self) -> None:
+        """(Re)start every deployed operator."""
+        for ops in self._operators.values():
+            for op in ops:
+                op.start()

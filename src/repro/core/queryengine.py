@@ -1,0 +1,225 @@
+"""The Query Engine (Section V-B).
+
+The Query Engine is the single component through which operator plugins
+obtain sensor data, isolating them from *where* they are instantiated:
+the same plugin code runs in a Pusher (local caches only) or a Collect
+Agent (caches plus Storage Backend fallback).
+
+Queries come in two modes matching the paper:
+
+- :meth:`query_relative` — a nanosecond offset against each sensor's
+  most recent reading; served from the cache in O(1) via index
+  arithmetic on the ring buffer.
+- :meth:`query_absolute` — absolute timestamp bounds; served via binary
+  search in O(log N), falling back to the storage backend when the
+  requested range extends past the cache's retention.
+
+Both return :class:`~repro.dcdb.cache.CacheView` objects, so operators
+receive zero-copy array windows regardless of the data's origin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError, QueryError
+from repro.dcdb.cache import CacheView, SensorCache
+from repro.dcdb.virtual import VirtualSensor, VirtualSensorRegistry
+from repro.core.navigator import SensorNavigator
+
+#: Host callback returning the cache for a topic (or None).
+CacheLookup = Callable[[str], Optional[SensorCache]]
+
+
+class QueryEngine:
+    """Cache-first sensor data access for operator plugins.
+
+    One engine exists per hosting component (Pusher or Collect Agent) —
+    the "singleton" of the paper is per-process; here it is per-host so
+    multiple simulated hosts coexist in one interpreter.
+
+    Args:
+        host: any object exposing ``cache_for(topic)``, ``storage``
+            (may be ``None``) and ``sensor_topics()`` — both DCDB host
+            classes qualify.
+        navigator: optional pre-built navigator; by default one is
+            constructed from the host's current sensor space.
+    """
+
+    def __init__(self, host, navigator: Optional[SensorNavigator] = None) -> None:
+        self._host = host
+        self._navigator = navigator or SensorNavigator.from_topics(
+            host.sensor_topics()
+        )
+        self.cache_hits = 0
+        self.storage_fallbacks = 0
+        self.misses = 0
+        self.virtual = VirtualSensorRegistry()
+        self._virtual_in_flight: set = set()
+
+    # ------------------------------------------------------------------
+    # Sensor space
+    # ------------------------------------------------------------------
+
+    @property
+    def navigator(self) -> SensorNavigator:
+        """The Sensor Navigator over the host's sensor space."""
+        return self._navigator
+
+    def refresh_navigator(self) -> None:
+        """Rebuild the navigator from the host's current sensor space.
+
+        Needed when new sensors appear after engine construction — e.g.
+        upstream pipeline stages starting to publish derived metrics.
+        """
+        self._navigator.rebuild(self._host.sensor_topics())
+
+    def topics(self) -> List[str]:
+        """All topics currently queryable on this host (incl. virtual)."""
+        return sorted(set(self._host.sensor_topics()) | set(self.virtual.topics()))
+
+    # ------------------------------------------------------------------
+    # Virtual sensors
+    # ------------------------------------------------------------------
+
+    def define_virtual(
+        self, topic: str, expression: str, interval_ns: int
+    ) -> VirtualSensor:
+        """Register a query-time-evaluated virtual sensor.
+
+        Virtual sensors may reference other virtual sensors; cycles are
+        rejected at evaluation time.
+        """
+        return self.virtual.define(topic, expression, interval_ns)
+
+    def _fetch_for_virtual(self, topic: str, start: int, end: int):
+        view = self.query_absolute(topic, start, end)
+        return view.timestamps(), view.values()
+
+    def _eval_virtual(
+        self, sensor: VirtualSensor, start_ts: int, end_ts: int
+    ) -> CacheView:
+        if sensor.topic in self._virtual_in_flight:
+            raise ConfigError(
+                f"virtual sensor cycle through {sensor.topic}"
+            )
+        self._virtual_in_flight.add(sensor.topic)
+        try:
+            ts, values = sensor.evaluate(
+                self._fetch_for_virtual, start_ts, end_ts
+            )
+        finally:
+            self._virtual_in_flight.discard(sensor.topic)
+        return CacheView([(ts, values)])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def latest(self, topic: str) -> CacheView:
+        """The most recent reading of ``topic``."""
+        return self.query_relative(topic, 0)
+
+    def query_relative(self, topic: str, offset_ns: int) -> CacheView:
+        """Readings within ``offset_ns`` of the newest reading (O(1)).
+
+        A zero offset returns only the most recent value, matching the
+        query-interval-0 configuration of the Fig 5 study.
+        """
+        virtual = self.virtual.get(topic)
+        if virtual is not None:
+            # Anchor at the newest reading among the expression's inputs.
+            newest = max(
+                self.query_relative(t, 0).last().timestamp
+                for t in virtual.inputs
+            )
+            return self._eval_virtual(virtual, newest - offset_ns, newest)
+        cache = self._host.cache_for(topic)
+        if cache is not None and len(cache):
+            self.cache_hits += 1
+            return cache.view_relative(offset_ns)
+        storage = self._host.storage
+        if storage is not None:
+            newest = storage.latest(topic)
+            if newest is not None:
+                self.storage_fallbacks += 1
+                ts, val = storage.query(
+                    topic, newest.timestamp - offset_ns, newest.timestamp
+                )
+                return CacheView([(ts, val)])
+        self.misses += 1
+        raise QueryError(f"no data available for sensor {topic}")
+
+    def query_absolute(self, topic: str, start_ts: int, end_ts: int) -> CacheView:
+        """Readings with timestamps in ``[start_ts, end_ts]`` (O(log N)).
+
+        Served from the cache when it covers the full range; otherwise
+        from the storage backend (Collect Agents), otherwise whatever
+        partial window the cache holds (Pushers, which have no backend).
+        """
+        if start_ts > end_ts:
+            raise QueryError(f"inverted range: {start_ts} > {end_ts}")
+        virtual = self.virtual.get(topic)
+        if virtual is not None:
+            return self._eval_virtual(virtual, start_ts, end_ts)
+        cache = self._host.cache_for(topic)
+        if cache is not None and len(cache):
+            oldest = cache.oldest()
+            if oldest is not None and oldest.timestamp <= start_ts:
+                self.cache_hits += 1
+                return cache.view_absolute(start_ts, end_ts)
+        storage = self._host.storage
+        if storage is not None and topic in storage:
+            self.storage_fallbacks += 1
+            ts, val = storage.query(topic, start_ts, end_ts)
+            return CacheView([(ts, val)])
+        if cache is not None and len(cache):
+            # Pusher with a partially covering cache: return what exists.
+            self.cache_hits += 1
+            return cache.view_absolute(start_ts, end_ts)
+        self.misses += 1
+        raise QueryError(f"no data available for sensor {topic}")
+
+    def query_many_relative(
+        self, topics: List[str], offset_ns: int
+    ) -> List[CacheView]:
+        """Relative-mode query over several sensors at once."""
+        return [self.query_relative(t, offset_ns) for t in topics]
+
+    def query_many_absolute(
+        self, topics: List[str], start_ts: int, end_ts: int
+    ) -> List[CacheView]:
+        """Absolute-mode query over several sensors at once."""
+        return [self.query_absolute(t, start_ts, end_ts) for t in topics]
+
+    # ------------------------------------------------------------------
+    # Derived conveniences used by several plugins
+    # ------------------------------------------------------------------
+
+    def window_values(
+        self, topic: str, offset_ns: int, delta: bool = False
+    ) -> np.ndarray:
+        """Values of a relative window; with ``delta`` the per-interval
+        differences of a monotonic counter (one element shorter)."""
+        view = self.query_relative(topic, offset_ns)
+        values = view.values()
+        if delta:
+            return np.diff(values)
+        return values
+
+    def rate(self, topic: str, offset_ns: int) -> float:
+        """Average per-second rate of a monotonic counter over a window.
+
+        Returns NaN when fewer than two readings are available.
+        """
+        view = self.query_relative(topic, offset_ns)
+        if len(view) < 2:
+            return float("nan")
+        ts = view.timestamps()
+        val = view.values()
+        span_s = (int(ts[-1]) - int(ts[0])) / 1e9
+        if span_s <= 0:
+            return float("nan")
+        return float((val[-1] - val[0]) / span_s)

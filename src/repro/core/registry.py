@@ -1,0 +1,77 @@
+"""Operator plugin registry.
+
+The production framework loads operator plugins as shared libraries; the
+Python reproduction registers operator classes under plugin names
+instead.  The Operator Manager instantiates operators by looking up the
+plugin name from a configuration block, passing host context (e.g. the
+job source for job operator plugins) to constructors that declare it.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, List, Type
+
+from repro.common.errors import PluginError
+from repro.core.operator import OperatorBase, OperatorConfig
+
+_REGISTRY: Dict[str, Type[OperatorBase]] = {}
+
+
+def register_operator_plugin(name: str, cls: Type[OperatorBase]) -> None:
+    """Register an operator class under a plugin name."""
+    if not (isinstance(cls, type) and issubclass(cls, OperatorBase)):
+        raise PluginError(f"plugin {name!r} must be an OperatorBase subclass")
+    _REGISTRY[name] = cls
+
+
+def operator_plugin(name: str) -> Callable[[Type[OperatorBase]], Type[OperatorBase]]:
+    """Class decorator registering an operator plugin::
+
+        @operator_plugin("aggregator")
+        class AggregatorOperator(OperatorBase): ...
+    """
+
+    def deco(cls: Type[OperatorBase]) -> Type[OperatorBase]:
+        register_operator_plugin(name, cls)
+        return cls
+
+    return deco
+
+
+def available_plugins() -> List[str]:
+    """Names of all registered operator plugins."""
+    # Importing the bundled plugin package registers its operators.
+    import repro.plugins  # noqa: F401
+
+    return sorted(_REGISTRY)
+
+
+def create_operator(
+    plugin_name: str, config: OperatorConfig, context: Dict[str, object]
+) -> OperatorBase:
+    """Instantiate one operator of ``plugin_name``.
+
+    Constructor parameters beyond ``config`` are filled from ``context``
+    by name (e.g. ``job_source``); missing context for a required
+    parameter is a configuration error.
+    """
+    import repro.plugins  # noqa: F401  (ensure bundled plugins registered)
+
+    cls = _REGISTRY.get(plugin_name)
+    if cls is None:
+        raise PluginError(
+            f"unknown operator plugin {plugin_name!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        )
+    sig = inspect.signature(cls.__init__)
+    kwargs = {}
+    for pname, param in list(sig.parameters.items())[2:]:  # skip self, config
+        if pname in context:
+            kwargs[pname] = context[pname]
+        elif param.default is inspect.Parameter.empty:
+            raise PluginError(
+                f"plugin {plugin_name!r} requires context {pname!r} "
+                f"which the host did not provide"
+            )
+    return cls(config, **kwargs)

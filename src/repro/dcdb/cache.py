@@ -1,0 +1,299 @@
+"""Per-sensor in-memory caches.
+
+Every DCDB component keeps a *sensor cache* holding the most recent
+readings of each sensor it sees, enabling fast in-memory access without a
+round trip to the storage backend.  The Wintermute Query Engine reads
+these caches in two modes (Section V-B of the paper):
+
+- **relative**: the caller supplies an offset against the most recent
+  reading; the view is computed with index arithmetic in O(1), using the
+  sensor's nominal sampling interval.
+- **absolute**: the caller supplies absolute timestamps; the bounds are
+  located with binary search in O(log N).
+
+The cache is a fixed-capacity ring buffer over two parallel NumPy arrays
+(int64 timestamps, float64 values).  Views never copy: a
+:class:`CacheView` holds at most two array slices (the window may wrap
+around the physical buffer) and only materialises a contiguous array on
+request, following the views-not-copies guidance for numerical Python.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.common.timeutil import NS_PER_SEC
+from repro.dcdb.sensor import SensorReading
+
+
+class CacheView:
+    """A zero-copy window over a sensor cache.
+
+    Holds one or two (timestamps, values) slice pairs.  Iteration yields
+    :class:`SensorReading` tuples oldest-first.  ``timestamps()`` and
+    ``values()`` concatenate lazily and cache the result.
+    """
+
+    __slots__ = ("_segments", "_ts", "_val")
+
+    def __init__(self, segments):
+        self._segments = [
+            (ts, val) for ts, val in segments if len(ts) > 0
+        ]
+        self._ts: Optional[np.ndarray] = None
+        self._val: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return sum(len(ts) for ts, _ in self._segments)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator[SensorReading]:
+        for ts, val in self._segments:
+            for i in range(len(ts)):
+                yield SensorReading(int(ts[i]), float(val[i]))
+
+    def timestamps(self) -> np.ndarray:
+        """All timestamps oldest-first (concatenated once, then cached)."""
+        if self._ts is None:
+            if len(self._segments) == 1:
+                self._ts = self._segments[0][0]
+            elif not self._segments:
+                self._ts = np.empty(0, dtype=np.int64)
+            else:
+                self._ts = np.concatenate([ts for ts, _ in self._segments])
+        return self._ts
+
+    def values(self) -> np.ndarray:
+        """All values oldest-first (concatenated once, then cached)."""
+        if self._val is None:
+            if len(self._segments) == 1:
+                self._val = self._segments[0][1]
+            elif not self._segments:
+                self._val = np.empty(0, dtype=np.float64)
+            else:
+                self._val = np.concatenate([v for _, v in self._segments])
+        return self._val
+
+    def first(self) -> SensorReading:
+        """Oldest reading in the view."""
+        if not self:
+            raise QueryError("empty cache view")
+        ts, val = self._segments[0]
+        return SensorReading(int(ts[0]), float(val[0]))
+
+    def last(self) -> SensorReading:
+        """Newest reading in the view."""
+        if not self:
+            raise QueryError("empty cache view")
+        ts, val = self._segments[-1]
+        return SensorReading(int(ts[-1]), float(val[-1]))
+
+    @staticmethod
+    def empty() -> "CacheView":
+        """A view over no readings."""
+        return CacheView([])
+
+
+class SensorCache:
+    """Fixed-capacity ring buffer of readings for one sensor.
+
+    Args:
+        capacity: maximum number of retained readings.  Alternatively use
+            :meth:`for_duration` to size the buffer from a time window and
+            a nominal sampling interval, as DCDB does (e.g. a 180 s cache
+            at 1 s sampling).
+        interval_ns: nominal sampling interval; enables O(1) relative
+            views.  When 0, relative views fall back to binary search.
+    """
+
+    __slots__ = ("_ts", "_val", "_cap", "_head", "_size", "interval_ns")
+
+    def __init__(self, capacity: int, interval_ns: int = 0):
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive: {capacity}")
+        self._cap = int(capacity)
+        self._ts = np.zeros(self._cap, dtype=np.int64)
+        self._val = np.zeros(self._cap, dtype=np.float64)
+        self._head = 0  # index of the next write slot
+        self._size = 0
+        self.interval_ns = int(interval_ns)
+
+    @classmethod
+    def for_duration(
+        cls, window_ns: int, interval_ns: int, slack: float = 1.2
+    ) -> "SensorCache":
+        """Size a cache to hold ``window_ns`` of data at ``interval_ns``.
+
+        A slack factor (default 20%) absorbs sampling jitter, mirroring
+        DCDB's maxHistory handling.
+        """
+        if interval_ns <= 0:
+            raise ValueError("interval_ns must be positive")
+        capacity = max(2, int(np.ceil(window_ns / interval_ns * slack)) + 1)
+        return cls(capacity, interval_ns=interval_ns)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def store(self, timestamp: int, value: float) -> None:
+        """Append one reading.  Timestamps must be non-decreasing; stale
+        (out-of-order) readings are dropped, matching DCDB semantics."""
+        if self._size and timestamp < int(self._ts[(self._head - 1) % self._cap]):
+            return
+        self._ts[self._head] = timestamp
+        self._val[self._head] = value
+        self._head = (self._head + 1) % self._cap
+        if self._size < self._cap:
+            self._size += 1
+
+    def store_reading(self, reading: SensorReading) -> None:
+        """Append one :class:`SensorReading`."""
+        self.store(reading.timestamp, reading.value)
+
+    def store_batch(self, timestamps: np.ndarray, values: np.ndarray) -> None:
+        """Append many readings at once (already time-ordered)."""
+        n = len(timestamps)
+        if n == 0:
+            return
+        if n >= self._cap:
+            # Only the newest `cap` readings survive; write them aligned
+            # to the start of the buffer.
+            self._ts[:] = timestamps[n - self._cap:]
+            self._val[:] = values[n - self._cap:]
+            self._head = 0
+            self._size = self._cap
+            return
+        first = min(n, self._cap - self._head)
+        self._ts[self._head:self._head + first] = timestamps[:first]
+        self._val[self._head:self._head + first] = values[:first]
+        rest = n - first
+        if rest:
+            self._ts[:rest] = timestamps[first:]
+            self._val[:rest] = values[first:]
+        self._head = (self._head + n) % self._cap
+        self._size = min(self._cap, self._size + n)
+
+    def clear(self) -> None:
+        """Drop all readings."""
+        self._head = 0
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained readings."""
+        return self._cap
+
+    def latest(self) -> Optional[SensorReading]:
+        """Most recent reading, or ``None`` if empty."""
+        if not self._size:
+            return None
+        i = (self._head - 1) % self._cap
+        return SensorReading(int(self._ts[i]), float(self._val[i]))
+
+    def oldest(self) -> Optional[SensorReading]:
+        """Oldest retained reading, or ``None`` if empty."""
+        if not self._size:
+            return None
+        i = (self._head - self._size) % self._cap
+        return SensorReading(int(self._ts[i]), float(self._val[i]))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def _tail_view(self, count: int) -> CacheView:
+        """View over the newest ``count`` readings (<= size)."""
+        count = min(count, self._size)
+        if count <= 0:
+            return CacheView.empty()
+        start = (self._head - count) % self._cap
+        end = (self._head - 1) % self._cap + 1
+        if start < end:
+            return CacheView([(self._ts[start:end], self._val[start:end])])
+        return CacheView([
+            (self._ts[start:], self._val[start:]),
+            (self._ts[:end], self._val[:end]),
+        ])
+
+    def view_latest(self) -> CacheView:
+        """View containing only the most recent reading."""
+        return self._tail_view(1)
+
+    def view_relative(self, offset_ns: int) -> CacheView:
+        """Readings within ``offset_ns`` of the newest reading.
+
+        This is the O(1) path from the paper: the number of readings is
+        derived from the nominal sampling interval with integer division,
+        then clamped to the buffer contents.  With no interval hint the
+        call degrades to an absolute query anchored at the newest
+        timestamp.
+        """
+        if not self._size:
+            return CacheView.empty()
+        if offset_ns < 0:
+            raise QueryError(f"negative relative offset: {offset_ns}")
+        if offset_ns == 0:
+            return self.view_latest()
+        if self.interval_ns > 0:
+            count = offset_ns // self.interval_ns + 1
+            return self._tail_view(int(count))
+        newest = int(self._ts[(self._head - 1) % self._cap])
+        return self.view_absolute(newest - offset_ns, newest)
+
+    def view_absolute(self, start_ts: int, end_ts: int) -> CacheView:
+        """Readings with timestamps in ``[start_ts, end_ts]``.
+
+        This is the O(log N) path: the ring is logically unrolled and the
+        bounds are located with binary search on the timestamp column.
+        """
+        if start_ts > end_ts:
+            raise QueryError(
+                f"inverted absolute range: {start_ts} > {end_ts}"
+            )
+        if not self._size:
+            return CacheView.empty()
+        segs = self._ordered_segments()
+        out = []
+        for ts, val in segs:
+            lo = int(np.searchsorted(ts, start_ts, side="left"))
+            hi = int(np.searchsorted(ts, end_ts, side="right"))
+            if lo < hi:
+                out.append((ts[lo:hi], val[lo:hi]))
+        return CacheView(out)
+
+    def _ordered_segments(self):
+        """The live contents as 1 or 2 time-ordered slices (no copy)."""
+        start = (self._head - self._size) % self._cap
+        end = (self._head - 1) % self._cap + 1
+        if self._size == 0:
+            return []
+        if start < end:
+            return [(self._ts[start:end], self._val[start:end])]
+        return [
+            (self._ts[start:], self._val[start:]),
+            (self._ts[:end], self._val[:end]),
+        ]
+
+    def memory_bytes(self) -> int:
+        """Resident size of the backing arrays in bytes."""
+        return self._ts.nbytes + self._val.nbytes
+
+
+def default_cache(interval_ns: int, window_seconds: float = 180.0) -> SensorCache:
+    """The cache DCDB configures by default: 180 s of history."""
+    return SensorCache.for_duration(
+        int(window_seconds * NS_PER_SEC), interval_ns
+    )

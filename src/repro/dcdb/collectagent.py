@@ -1,0 +1,161 @@
+"""The DCDB Collect Agent.
+
+Collect Agents are the data brokers of DCDB: they receive all sensor
+traffic the Pushers publish over MQTT, keep their own sensor caches for
+fast in-memory access, and forward readings to the storage backend.
+Wintermute operators hosted in a Collect Agent see the *entire* system's
+sensor space — data comes from the local caches when possible and from
+the storage backend otherwise (Section IV-a), which is exactly the
+lookup order the Query Engine implements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.timeutil import NS_PER_SEC
+from repro.dcdb.cache import SensorCache
+from repro.dcdb.mqtt import Broker, QueuedSubscriber
+from repro.dcdb.restapi import RestApi, RestResponse
+from repro.dcdb.sensor import Sensor
+from repro.dcdb.storage import StorageBackend
+from repro.simulator.clock import TaskScheduler
+
+
+class CollectAgent:
+    """System-level data broker and analytics host.
+
+    Args:
+        name: host identifier.
+        broker: MQTT broker to subscribe on.
+        scheduler: shared task scheduler (drives queue drains).
+        storage: storage backend readings are persisted to.
+        cache_window_ns: retention of the agent-side sensor caches.
+        drain_interval_ns: how often the subscription queue is flushed
+            to caches and storage.
+        subscribe_pattern: topic filter; ``/#`` (everything) by default.
+        republish_outputs: whether operator outputs written on this agent
+            are also published over MQTT.  Off by default: in a Collect
+            Agent, outputs are "written to the Storage Backend" directly
+            (Section IV-a) — and with a catch-all subscription a
+            republish would loop straight back into the agent's own
+            ingest queue, duplicating every stored reading.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        broker: Broker,
+        scheduler: TaskScheduler,
+        storage: Optional[StorageBackend] = None,
+        cache_window_ns: int = 180 * NS_PER_SEC,
+        drain_interval_ns: int = NS_PER_SEC,
+        subscribe_pattern: str = "/#",
+        republish_outputs: bool = False,
+    ) -> None:
+        self.republish_outputs = republish_outputs
+        self.name = name
+        self.broker = broker
+        self.scheduler = scheduler
+        self._storage = storage if storage is not None else StorageBackend()
+        self.cache_window_ns = int(cache_window_ns)
+        self.caches: Dict[str, SensorCache] = {}
+        self.sensors: Dict[str, Sensor] = {}
+        self.rest = RestApi()
+        self.analytics: Optional[object] = None
+        self._queue = QueuedSubscriber()
+        self._queue.attach(broker, subscribe_pattern)
+        self._drain_task = scheduler.add_callback(
+            f"{name}:drain", self._drain, int(drain_interval_ns)
+        )
+        # Storage TTL maintenance: Cassandra expires rows server-side;
+        # the in-memory backend needs a periodic sweep instead.
+        if self._storage.ttl_ns > 0:
+            self._ttl_task = scheduler.add_callback(
+                f"{name}:ttl",
+                lambda ts: self._storage.expire(ts),
+                max(NS_PER_SEC, self._storage.ttl_ns // 10),
+            )
+        self.forwarded_count = 0
+        self._register_routes()
+
+    # ------------------------------------------------------------------
+    # Ingest path
+    # ------------------------------------------------------------------
+
+    def _cache_for_ingest(self, topic: str) -> SensorCache:
+        cache = self.caches.get(topic)
+        if cache is None:
+            # Interval is unknown for remote sensors; a count-sized cache
+            # with binary-search relative fallback keeps semantics right.
+            cache = self.caches[topic] = SensorCache(
+                capacity=max(2, self.cache_window_ns // NS_PER_SEC + 1)
+            )
+        return cache
+
+    def _drain(self, ts: int) -> None:
+        """Flush queued MQTT messages into caches and storage."""
+        for msg in self._queue.drain():
+            self._cache_for_ingest(msg.topic).store(msg.timestamp, msg.value)
+            self._storage.insert(msg.topic, msg.timestamp, msg.value)
+            self.forwarded_count += 1
+
+    def flush(self, ts: Optional[int] = None) -> None:
+        """Drain immediately (used by on-demand REST handlers/tests)."""
+        self._drain(ts if ts is not None else self.scheduler.clock.now)
+
+    # ------------------------------------------------------------------
+    # Host interface for Wintermute
+    # ------------------------------------------------------------------
+
+    def store_reading(self, sensor: Sensor, ts: int, value: float) -> None:
+        """Store an operator output: cache + storage (+ MQTT if published).
+
+        In a Collect Agent, operator outputs are also written to the
+        Storage Backend (Section IV-a).
+        """
+        self.sensors[sensor.topic] = sensor
+        self._cache_for_ingest(sensor.topic).store(ts, value)
+        self._storage.insert(sensor.topic, ts, value)
+        if sensor.publish and self.republish_outputs:
+            self.broker.publish(sensor.topic, value, ts)
+
+    def cache_for(self, topic: str) -> Optional[SensorCache]:
+        """The agent-side cache for ``topic``, if any traffic was seen."""
+        return self.caches.get(topic)
+
+    def sensor_topics(self) -> List[str]:
+        """All topics known to this agent (cached or stored)."""
+        topics = set(self.caches.keys())
+        topics.update(self._storage.topics())
+        return sorted(topics)
+
+    @property
+    def storage(self) -> StorageBackend:
+        """The storage backend; the Query Engine's fallback source."""
+        return self._storage
+
+    def attach_analytics(self, manager) -> None:
+        """Attach a Wintermute OperatorManager to this host."""
+        self.analytics = manager
+        manager.bind_host(self)
+
+    # ------------------------------------------------------------------
+    # REST API
+    # ------------------------------------------------------------------
+
+    def _register_routes(self) -> None:
+        self.rest.register("GET", "/sensors", self._route_sensors)
+        self.rest.register("GET", "/stats", self._route_stats)
+
+    def _route_sensors(self, request) -> RestResponse:
+        return RestResponse.json({"sensors": self.sensor_topics()})
+
+    def _route_stats(self, request) -> RestResponse:
+        return RestResponse.json(
+            {
+                "forwarded": self.forwarded_count,
+                "queued": len(self._queue),
+                "stored_readings": self._storage.total_readings(),
+            }
+        )

@@ -1,0 +1,237 @@
+"""An in-process MQTT-style message broker.
+
+DCDB transports all sensor data over MQTT: Pushers publish readings to
+per-sensor topics, and Collect Agents subscribe and forward the stream to
+the storage backend.  This reproduction keeps the same topic semantics
+(slash-separated topics, ``+`` single-level and ``#`` multi-level
+wildcards, retained messages) but runs in-process so experiments are
+deterministic and require no network stack.
+
+Delivery is synchronous by default: ``publish`` invokes matching
+subscriber callbacks immediately, in subscription order.  A queued mode
+(:class:`QueuedSubscriber`) is available for components that want to
+drain messages on their own schedule, e.g. a Collect Agent batching
+storage writes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import TopicError
+from repro.common.topics import split_topic
+
+#: Callback signature for subscribers: (topic, payload, timestamp_ns).
+MessageHandler = Callable[[str, float, int], None]
+
+_SINGLE = "+"
+_MULTI = "#"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One published sample: a value on a topic at a timestamp."""
+
+    topic: str
+    value: float
+    timestamp: int
+
+
+@dataclass
+class _TrieNode:
+    """A node in the subscription trie keyed by topic segments."""
+
+    children: Dict[str, "_TrieNode"] = field(default_factory=dict)
+    # (subscription id, handler) pairs whose pattern ends at this node.
+    handlers: List[Tuple[int, MessageHandler]] = field(default_factory=list)
+    # Handlers for '#' patterns rooted here (match this node and below).
+    multi_handlers: List[Tuple[int, MessageHandler]] = field(default_factory=list)
+
+
+class Broker:
+    """Topic-tree publish/subscribe broker.
+
+    Subscriptions are stored in a trie over topic segments so that a
+    publish visits only the trie paths compatible with the topic, rather
+    than scanning every subscription — the same property a real MQTT
+    broker's topic tree provides.
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._ids = itertools.count(1)
+        self._retained: Dict[str, Message] = {}
+        self._pattern_by_id: Dict[int, List[str]] = {}
+        self.published_count = 0
+        self.delivered_count = 0
+        self.handler_errors = 0
+        self.last_handler_errors: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        pattern: str,
+        handler: MessageHandler,
+        replay_retained: bool = False,
+    ) -> int:
+        """Register ``handler`` for topics matching ``pattern``.
+
+        Returns a subscription id usable with :meth:`unsubscribe`.  With
+        ``replay_retained``, retained messages matching the pattern are
+        delivered immediately.
+        """
+        parts = split_topic(pattern)
+        if _MULTI in parts[:-1]:
+            raise TopicError(f"'#' must terminate the pattern: {pattern!r}")
+        sub_id = next(self._ids)
+        node = self._root
+        is_multi = parts[-1] == _MULTI
+        walk = parts[:-1] if is_multi else parts
+        for seg in walk:
+            node = node.children.setdefault(seg, _TrieNode())
+        if is_multi:
+            node.multi_handlers.append((sub_id, handler))
+        else:
+            node.handlers.append((sub_id, handler))
+        self._pattern_by_id[sub_id] = parts
+        if replay_retained:
+            from repro.common.topics import topic_matches
+
+            pat = "/" + "/".join(parts)
+            for msg in list(self._retained.values()):
+                if topic_matches(pat, msg.topic):
+                    self._invoke(handler, msg.topic, msg.value, msg.timestamp)
+        return sub_id
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        """Remove a subscription; returns whether it existed."""
+        parts = self._pattern_by_id.pop(sub_id, None)
+        if parts is None:
+            return False
+        is_multi = parts[-1] == _MULTI
+        walk = parts[:-1] if is_multi else parts
+        node = self._root
+        for seg in walk:
+            node = node.children.get(seg)
+            if node is None:
+                return False
+        bucket = node.multi_handlers if is_multi else node.handlers
+        for i, (sid, _) in enumerate(bucket):
+            if sid == sub_id:
+                del bucket[i]
+                return True
+        return False
+
+    def subscription_count(self) -> int:
+        """Number of live subscriptions."""
+        return len(self._pattern_by_id)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def publish(
+        self, topic: str, value: float, timestamp: int, retain: bool = False
+    ) -> int:
+        """Deliver a sample to all matching subscribers.
+
+        Returns the number of handlers invoked.  With ``retain`` the
+        message is stored and replayed to late subscribers that request
+        retained delivery.
+        """
+        parts = split_topic(topic)
+        if _SINGLE in parts or _MULTI in parts:
+            # MQTT forbids wildcard characters in publish topics; letting
+            # them through would alias the subscription trie's wildcard
+            # slots.
+            raise TopicError(f"wildcards not allowed in publish topic {topic!r}")
+        if retain:
+            self._retained[topic] = Message(topic, value, timestamp)
+        self.published_count += 1
+        delivered = self._dispatch(self._root, parts, 0, topic, value, timestamp)
+        self.delivered_count += delivered
+        return delivered
+
+    def publish_message(self, msg: Message, retain: bool = False) -> int:
+        """Publish a prebuilt :class:`Message`."""
+        return self.publish(msg.topic, msg.value, msg.timestamp, retain)
+
+    def retained(self, topic: str) -> Optional[Message]:
+        """The retained message on ``topic``, if any."""
+        return self._retained.get(topic)
+
+    def _invoke(self, handler, topic: str, value: float, timestamp: int) -> None:
+        """Call one subscriber; a throwing handler must not poison the
+        publisher or the remaining subscribers."""
+        try:
+            handler(topic, value, timestamp)
+        except Exception as exc:
+            self.handler_errors += 1
+            self.last_handler_errors = (
+                self.last_handler_errors + [f"{topic}: {exc}"]
+            )[-16:]
+
+    def _dispatch(
+        self,
+        node: _TrieNode,
+        parts: List[str],
+        depth: int,
+        topic: str,
+        value: float,
+        timestamp: int,
+    ) -> int:
+        count = 0
+        for _, handler in node.multi_handlers:
+            self._invoke(handler, topic, value, timestamp)
+            count += 1
+        if depth == len(parts):
+            for _, handler in node.handlers:
+                self._invoke(handler, topic, value, timestamp)
+                count += 1
+            return count
+        seg = parts[depth]
+        child = node.children.get(seg)
+        if child is not None:
+            count += self._dispatch(child, parts, depth + 1, topic, value, timestamp)
+        wild = node.children.get(_SINGLE)
+        if wild is not None:
+            count += self._dispatch(wild, parts, depth + 1, topic, value, timestamp)
+        return count
+
+
+class QueuedSubscriber:
+    """A subscriber that buffers messages for deferred draining.
+
+    Collect Agents use this to decouple broker delivery from storage
+    writes: ``attach`` registers the queue on a broker, and ``drain``
+    hands the accumulated batch to a consumer.
+    """
+
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        self._queue: Deque[Message] = deque(maxlen=maxlen)
+        self.dropped = 0
+        self._maxlen = maxlen
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def handler(self, topic: str, value: float, timestamp: int) -> None:
+        """Broker-facing callback: enqueue the message."""
+        if self._maxlen is not None and len(self._queue) == self._maxlen:
+            self.dropped += 1
+        self._queue.append(Message(topic, value, timestamp))
+
+    def attach(self, broker: Broker, pattern: str) -> int:
+        """Subscribe this queue to ``pattern`` on ``broker``."""
+        return broker.subscribe(pattern, self.handler)
+
+    def drain(self, limit: Optional[int] = None) -> List[Message]:
+        """Remove and return up to ``limit`` queued messages (all if None)."""
+        n = len(self._queue) if limit is None else min(limit, len(self._queue))
+        return [self._queue.popleft() for _ in range(n)]

@@ -1,0 +1,117 @@
+"""Network conditions for the MQTT path.
+
+The in-process broker delivers synchronously — the idealised network.
+Real deployments see management-network latency, jitter and occasional
+loss between Pushers and Collect Agents; :class:`NetworkConditions`
+injects exactly those effects without touching producers or consumers:
+it wraps a broker, delays each publish by a (deterministic, seeded)
+latency sample via one-shot scheduler tasks, and drops a configurable
+fraction of messages.
+
+This powers the placement ablation's latency analysis and robustness
+tests: in-band (Pusher-side) analytics are immune to these conditions,
+out-of-band (Collect-Agent-side) analytics see them — the trade-off
+Section IV-a describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.dcdb.mqtt import Broker
+from repro.simulator.clock import TaskScheduler
+
+
+class NetworkConditions:
+    """A lossy, delaying link in front of a broker.
+
+    Producers call :meth:`publish` exactly as they would on the broker;
+    delivery happens when the simulation clock reaches the send time
+    plus a sampled latency.  Messages may be dropped.  Ordering is
+    whatever the latency samples induce (late messages genuinely arrive
+    late, as on a real network; the cache/storage layers already drop
+    stale out-of-order readings).
+
+    Args:
+        broker: the destination broker.
+        scheduler: task scheduler driving deliveries.
+        latency_ns: mean one-way latency.
+        jitter_ns: uniform +/- jitter applied per message.
+        drop_probability: fraction of messages silently lost.
+        seed: deterministic randomness for jitter and drops.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        scheduler: TaskScheduler,
+        latency_ns: int = 0,
+        jitter_ns: int = 0,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if latency_ns < 0 or jitter_ns < 0:
+            raise ConfigError("latency/jitter must be non-negative")
+        if not (0.0 <= drop_probability < 1.0):
+            raise ConfigError(
+                f"drop_probability must be in [0, 1): {drop_probability}"
+            )
+        if jitter_ns > latency_ns:
+            raise ConfigError("jitter cannot exceed the mean latency")
+        self.broker = broker
+        self.scheduler = scheduler
+        self.latency_ns = int(latency_ns)
+        self.jitter_ns = int(jitter_ns)
+        self.drop_probability = float(drop_probability)
+        self._rng = np.random.default_rng(seed)
+        self.sent = 0
+        self.dropped = 0
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+
+    def _sample_latency(self) -> int:
+        if self.jitter_ns == 0:
+            return self.latency_ns
+        return int(
+            self.latency_ns
+            + self._rng.integers(-self.jitter_ns, self.jitter_ns + 1)
+        )
+
+    def publish(self, topic: str, value: float, timestamp: int) -> None:
+        """Send one message through the link."""
+        self.sent += 1
+        if self.drop_probability and self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            return
+        if self.latency_ns == 0:
+            self.broker.publish(topic, value, timestamp)
+            self.delivered += 1
+            return
+        due = self.scheduler.clock.now + self._sample_latency()
+
+        def deliver(ts: int, t=topic, v=value, orig=timestamp) -> None:
+            self.broker.publish(t, v, orig)
+            self.delivered += 1
+
+        self.scheduler.add_once("net-delivery", deliver, due)
+
+    # Duck-type compatibility with Broker for producers that only publish.
+    def subscribe(self, *args, **kwargs):
+        """Subscriptions attach to the destination broker directly."""
+        return self.broker.subscribe(*args, **kwargs)
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        return self.broker.unsubscribe(sub_id)
+
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but not yet delivered or dropped."""
+        return self.sent - self.dropped - self.delivered
+
+    def loss_rate(self) -> float:
+        """Observed drop fraction so far."""
+        return self.dropped / self.sent if self.sent else 0.0

@@ -1,0 +1,26 @@
+"""Monitoring plugins for the Pusher.
+
+Each plugin samples a family of sensors on one monitored component,
+mirroring the plugins the paper's deployment runs on CooLMUC-3
+(perfevent, sysFS, ProcFS and OPA) plus the ``tester`` plugin used for
+the overhead study of Section VI-A.  All hardware-facing plugins read
+from the cluster simulator instead of real interfaces; the sampling code
+path (plugin -> cache -> MQTT) is identical to production.
+"""
+
+from repro.dcdb.plugins.base import MonitoringPlugin, PluginSample
+from repro.dcdb.plugins.tester import TesterMonitoringPlugin
+from repro.dcdb.plugins.perfevent import PerfeventPlugin
+from repro.dcdb.plugins.sysfs import SysfsPlugin
+from repro.dcdb.plugins.procfs import ProcfsPlugin
+from repro.dcdb.plugins.opa import OpaPlugin
+
+__all__ = [
+    "MonitoringPlugin",
+    "PluginSample",
+    "TesterMonitoringPlugin",
+    "PerfeventPlugin",
+    "SysfsPlugin",
+    "ProcfsPlugin",
+    "OpaPlugin",
+]

@@ -1,0 +1,190 @@
+"""The DCDB Pusher.
+
+A Pusher runs on every monitored component (typically a compute node),
+hosts monitoring plugins that sample sensors at fixed intervals, keeps
+recent readings in per-sensor caches, and publishes readings over MQTT
+to a Collect Agent.  Wintermute operators can be co-located in a Pusher
+for in-band, low-latency analysis (Section IV-a): the
+:class:`~repro.core.manager.OperatorManager` attaches through
+:meth:`attach_analytics` and reuses the Pusher's caches, scheduler,
+publishing path and REST API.
+
+Sampling-time accounting (``busy_ns``) records wall-clock time spent in
+plugin sampling and analytics separately; the Fig 5 overhead benchmark
+derives its percentages from these counters.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.timeutil import NS_PER_SEC
+from repro.dcdb.cache import SensorCache
+from repro.dcdb.mqtt import Broker
+from repro.dcdb.plugins.base import MonitoringPlugin
+from repro.dcdb.restapi import RestApi, RestResponse
+from repro.dcdb.sensor import Sensor
+from repro.simulator.clock import TaskScheduler
+
+
+class Pusher:
+    """Sampling host for one monitored component.
+
+    Args:
+        name: host identifier (conventionally the node path it runs on).
+        broker: MQTT broker readings are published to.
+        scheduler: shared task scheduler driving periodic sampling.
+        cache_window_ns: retention of the per-sensor caches (the paper's
+            experiments use 180 s).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        broker: Broker,
+        scheduler: TaskScheduler,
+        cache_window_ns: int = 180 * NS_PER_SEC,
+    ) -> None:
+        self.name = name
+        self.broker = broker
+        self.scheduler = scheduler
+        self.cache_window_ns = int(cache_window_ns)
+        self.caches: Dict[str, SensorCache] = {}
+        self.sensors: Dict[str, Sensor] = {}
+        self._plugins: Dict[str, MonitoringPlugin] = {}
+        self._tasks: Dict[str, object] = {}
+        self.rest = RestApi()
+        self.sampling_busy_ns = 0
+        self.sampling_errors = 0
+        self.last_sampling_errors: List[str] = []
+        self.analytics: Optional[object] = None  # OperatorManager, if attached
+        self._register_routes()
+
+    # ------------------------------------------------------------------
+    # Plugin management
+    # ------------------------------------------------------------------
+
+    def add_plugin(self, plugin: MonitoringPlugin) -> None:
+        """Install a monitoring plugin: create caches, schedule sampling."""
+        if plugin.name in self._plugins:
+            raise ConfigError(f"duplicate monitoring plugin {plugin.name!r}")
+        for sensor in plugin.sensors():
+            if sensor.topic in self.sensors:
+                raise ConfigError(f"duplicate sensor topic {sensor.topic}")
+            self.sensors[sensor.topic] = sensor
+            self.caches[sensor.topic] = SensorCache.for_duration(
+                self.cache_window_ns, plugin.interval_ns
+            )
+        self._plugins[plugin.name] = plugin
+        task = self.scheduler.add_callback(
+            f"{self.name}:{plugin.name}",
+            lambda ts, p=plugin: self._sample_plugin(p, ts),
+            plugin.interval_ns,
+        )
+        self._tasks[plugin.name] = task
+
+    def plugin(self, name: str) -> MonitoringPlugin:
+        """Look up an installed plugin."""
+        try:
+            return self._plugins[name]
+        except KeyError:
+            raise PluginError(f"no monitoring plugin {name!r} on {self.name}") from None
+
+    def plugins(self) -> List[str]:
+        """Names of installed monitoring plugins."""
+        return list(self._plugins)
+
+    def set_plugin_enabled(self, name: str, enabled: bool) -> None:
+        """Start or stop a plugin's sampling task."""
+        if name not in self._plugins:
+            raise PluginError(f"no monitoring plugin {name!r} on {self.name}")
+        self._tasks[name].enabled = enabled
+
+    def _sample_plugin(self, plugin: MonitoringPlugin, ts: int) -> None:
+        t0 = time.perf_counter_ns()
+        try:
+            for sensor, value in plugin.sample(ts):
+                self.store_reading(sensor, ts, value)
+        except Exception as exc:
+            # A faulty plugin must not take down the sampling loop (or
+            # the other plugins sharing it): count and continue.
+            self.sampling_errors += 1
+            self.last_sampling_errors = (
+                self.last_sampling_errors + [f"{plugin.name}@{ts}: {exc}"]
+            )[-16:]
+        self.sampling_busy_ns += time.perf_counter_ns() - t0
+
+    # ------------------------------------------------------------------
+    # Data path (also used by Wintermute operator outputs)
+    # ------------------------------------------------------------------
+
+    def store_reading(self, sensor: Sensor, ts: int, value: float) -> None:
+        """Cache a reading and publish it if the sensor is published.
+
+        Operator outputs flow through the same call, which is what makes
+        them "identical to all other sensor data" (Section IV-d) and
+        thus usable as pipeline inputs downstream.
+        """
+        cache = self.caches.get(sensor.topic)
+        if cache is None:
+            # Operator outputs register lazily with the host cache window.
+            interval = getattr(sensor, "interval_hint_ns", 0) or NS_PER_SEC
+            cache = self.caches[sensor.topic] = SensorCache.for_duration(
+                self.cache_window_ns, interval
+            )
+            self.sensors[sensor.topic] = sensor
+        cache.store(ts, value)
+        if sensor.publish:
+            self.broker.publish(sensor.topic, value, ts)
+
+    def cache_for(self, topic: str) -> Optional[SensorCache]:
+        """The cache holding ``topic``'s readings, if locally present."""
+        return self.caches.get(topic)
+
+    def sensor_topics(self) -> List[str]:
+        """All topics visible on this host (sampled + operator outputs)."""
+        return list(self.caches.keys())
+
+    @property
+    def storage(self):
+        """Pushers have no storage backend; operators fall back to None."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Analytics integration
+    # ------------------------------------------------------------------
+
+    def attach_analytics(self, manager) -> None:
+        """Attach a Wintermute OperatorManager to this host."""
+        self.analytics = manager
+        manager.bind_host(self)
+
+    # ------------------------------------------------------------------
+    # REST API
+    # ------------------------------------------------------------------
+
+    def _register_routes(self) -> None:
+        self.rest.register("GET", "/plugins", self._route_plugins)
+        self.rest.register("GET", "/sensors", self._route_sensors)
+        self.rest.register("PUT", "/plugins", self._route_plugin_action)
+
+    def _route_plugins(self, request) -> RestResponse:
+        return RestResponse.json({"plugins": self.plugins()})
+
+    def _route_sensors(self, request) -> RestResponse:
+        return RestResponse.json({"sensors": sorted(self.sensor_topics())})
+
+    def _route_plugin_action(self, request) -> RestResponse:
+        parts = request.path.strip("/").split("/")
+        if len(parts) != 3 or parts[2] not in ("start", "stop"):
+            return RestResponse.error(
+                "expected /plugins/<name>/{start|stop}", 400
+            )
+        name, action = parts[1], parts[2]
+        try:
+            self.set_plugin_enabled(name, action == "start")
+        except PluginError as exc:
+            return RestResponse.error(str(exc), 404)
+        return RestResponse.json({"plugin": name, "action": action})

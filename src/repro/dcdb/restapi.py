@@ -1,0 +1,113 @@
+"""RESTful control surface.
+
+Every DCDB component exposes an HTTPS REST API used to introspect and
+control it at runtime; Wintermute routes its ODA requests (start/stop/
+reload plugins, trigger on-demand operators) through the same server
+(Section V-A).  This reproduction models the API as an in-process router:
+requests are method + path + query parameters, responses carry a status
+code and a JSON-like dict body.  The routing semantics (longest-prefix
+match, per-method tables) mirror what the C++ implementation's Boost
+Beast server provides, without the network layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class RestRequest:
+    """An API request: ``method`` is GET/PUT/POST/DELETE."""
+
+    method: str
+    path: str
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def param(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Fetch one query parameter."""
+        return self.params.get(key, default)
+
+
+@dataclass
+class RestResponse:
+    """An API response with an HTTP-like status code and a dict body."""
+
+    status: int
+    body: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the status is a 2xx success."""
+        return 200 <= self.status < 300
+
+    @staticmethod
+    def json(body: dict, status: int = 200) -> "RestResponse":
+        """Build a success response."""
+        return RestResponse(status, body)
+
+    @staticmethod
+    def error(message: str, status: int = 400) -> "RestResponse":
+        """Build an error response."""
+        return RestResponse(status, {"error": message})
+
+
+RouteHandler = Callable[[RestRequest], RestResponse]
+
+
+class RestApi:
+    """Prefix-routed request dispatcher.
+
+    Handlers register under a (method, path-prefix) pair; dispatch picks
+    the longest registered prefix matching the request path, so e.g.
+    ``/analytics/operators`` wins over ``/analytics`` for requests to
+    ``/analytics/operators/regressor``.
+    """
+
+    def __init__(self) -> None:
+        # method -> list of (prefix, handler), kept sorted longest-first.
+        self._routes: Dict[str, List[Tuple[str, RouteHandler]]] = {}
+
+    def register(self, method: str, prefix: str, handler: RouteHandler) -> None:
+        """Register ``handler`` for paths starting with ``prefix``."""
+        method = method.upper()
+        prefix = "/" + prefix.strip("/")
+        routes = self._routes.setdefault(method, [])
+        routes.append((prefix, handler))
+        routes.sort(key=lambda r: len(r[0]), reverse=True)
+
+    def dispatch(self, request: RestRequest) -> RestResponse:
+        """Route a request; 404 when no prefix matches, 405 for a known
+        path under a different method."""
+        path = "/" + request.path.strip("/")
+        routes = self._routes.get(request.method.upper(), [])
+        for prefix, handler in routes:
+            if path == prefix or path.startswith(prefix + "/"):
+                return handler(request)
+        for other_method, other_routes in self._routes.items():
+            if other_method == request.method.upper():
+                continue
+            for prefix, _ in other_routes:
+                if path == prefix or path.startswith(prefix + "/"):
+                    return RestResponse.error(
+                        f"method {request.method} not allowed on {path}", 405
+                    )
+        return RestResponse.error(f"no route for {path}", 404)
+
+    # Convenience verbs -------------------------------------------------
+
+    def get(self, path: str, **params: str) -> RestResponse:
+        """Issue a GET request."""
+        return self.dispatch(RestRequest("GET", path, dict(params)))
+
+    def put(self, path: str, **params: str) -> RestResponse:
+        """Issue a PUT request."""
+        return self.dispatch(RestRequest("PUT", path, dict(params)))
+
+    def post(self, path: str, **params: str) -> RestResponse:
+        """Issue a POST request."""
+        return self.dispatch(RestRequest("POST", path, dict(params)))
+
+    def delete(self, path: str, **params: str) -> RestResponse:
+        """Issue a DELETE request."""
+        return self.dispatch(RestRequest("DELETE", path, dict(params)))

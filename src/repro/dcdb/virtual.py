@@ -1,0 +1,282 @@
+"""Virtual sensors: expression-defined, query-time-evaluated sensors.
+
+DCDB supports *virtual sensors* — sensors that hold no stored readings
+but are defined by an arithmetic expression over other sensors and
+evaluated on demand when queried (e.g. total rack power as the sum of
+its nodes, or power-per-flop efficiency).  Wintermute operators can use
+them as inputs like any physical sensor.
+
+Expression grammar (classic precedence, recursive descent)::
+
+    expr   := term (('+' | '-') term)*
+    term   := factor (('*' | '/') factor)*
+    factor := NUMBER | '<' topic '>' | '(' expr ')' | '-' factor
+
+Sensor references are written in angle brackets: ``<(/r0/n0/power)>`` is
+not required — plain ``</r0/n0/power>`` works.  Evaluation aligns every
+referenced series onto a regular time grid with sample-and-hold
+semantics and applies the expression vectorised over NumPy arrays;
+division by zero yields NaN rather than raising.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError, QueryError
+from repro.common.topics import normalize_topic
+
+# ----------------------------------------------------------------------
+# Expression AST
+# ----------------------------------------------------------------------
+
+
+class ExprNode:
+    """Base expression node; evaluates over aligned input arrays."""
+
+    def eval(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def topics(self) -> List[str]:
+        """All sensor topics referenced by the subtree."""
+        return []
+
+
+@dataclass(frozen=True)
+class Const(ExprNode):
+    value: float
+
+    def eval(self, inputs):
+        return np.float64(self.value)
+
+
+@dataclass(frozen=True)
+class Ref(ExprNode):
+    topic: str
+
+    def eval(self, inputs):
+        return inputs[self.topic]
+
+    def topics(self):
+        return [self.topic]
+
+
+@dataclass(frozen=True)
+class Unary(ExprNode):
+    child: ExprNode
+
+    def eval(self, inputs):
+        return -self.child.eval(inputs)
+
+    def topics(self):
+        return self.child.topics()
+
+
+_OPS: Dict[str, Callable] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+}
+
+
+@dataclass(frozen=True)
+class Binary(ExprNode):
+    op: str
+    left: ExprNode
+    right: ExprNode
+
+    def eval(self, inputs):
+        lhs = self.left.eval(inputs)
+        rhs = self.right.eval(inputs)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = _OPS[self.op](lhs, rhs)
+        return out
+
+    def topics(self):
+        return self.left.topics() + self.right.topics()
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+\.?\d*(?:[eE][+-]?\d+)?)"
+    r"|<(?P<ref>[^<>]+)>"
+    r"|(?P<op>[-+*/()]))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ConfigError(
+                f"bad virtual-sensor expression near {text[pos:pos+12]!r}"
+            )
+        if match.group("num") is not None:
+            tokens.append(("num", match.group("num")))
+        elif match.group("ref") is not None:
+            tokens.append(("ref", match.group("ref").strip()))
+        else:
+            tokens.append(("op", match.group("op")))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _take(self) -> Tuple[str, str]:
+        tok = self._peek()
+        if tok is None:
+            raise ConfigError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def parse(self) -> ExprNode:
+        node = self.expr()
+        if self._peek() is not None:
+            raise ConfigError(
+                f"trailing tokens in expression: {self.tokens[self.pos:]}"
+            )
+        return node
+
+    def expr(self) -> ExprNode:
+        node = self.term()
+        while self._peek() in (("op", "+"), ("op", "-")):
+            op = self._take()[1]
+            node = Binary(op, node, self.term())
+        return node
+
+    def term(self) -> ExprNode:
+        node = self.factor()
+        while self._peek() in (("op", "*"), ("op", "/")):
+            op = self._take()[1]
+            node = Binary(op, node, self.factor())
+        return node
+
+    def factor(self) -> ExprNode:
+        kind, text = self._take()
+        if kind == "num":
+            return Const(float(text))
+        if kind == "ref":
+            return Ref(normalize_topic(text))
+        if (kind, text) == ("op", "-"):
+            return Unary(self.factor())
+        if (kind, text) == ("op", "("):
+            node = self.expr()
+            closing = self._take()
+            if closing != ("op", ")"):
+                raise ConfigError("unbalanced parentheses in expression")
+            return node
+        raise ConfigError(f"unexpected token {text!r} in expression")
+
+
+def parse_expression(text: str) -> ExprNode:
+    """Parse a virtual-sensor expression into an AST."""
+    if not text or not text.strip():
+        raise ConfigError("empty virtual-sensor expression")
+    return _Parser(_tokenize(text)).parse()
+
+
+# ----------------------------------------------------------------------
+# Virtual sensors
+# ----------------------------------------------------------------------
+
+
+class VirtualSensor:
+    """A query-time-evaluated derived sensor.
+
+    Args:
+        topic: the virtual sensor's own topic.
+        expression: arithmetic expression with ``<topic>`` references.
+        interval_ns: evaluation grid period.
+    """
+
+    def __init__(self, topic: str, expression: str, interval_ns: int) -> None:
+        if interval_ns <= 0:
+            raise ConfigError(
+                f"virtual sensor {topic}: interval must be positive"
+            )
+        self.topic = normalize_topic(topic)
+        self.expression_text = expression
+        self.expression = parse_expression(expression)
+        self.interval_ns = int(interval_ns)
+        self.inputs = sorted(set(self.expression.topics()))
+        if not self.inputs:
+            raise ConfigError(
+                f"virtual sensor {topic}: expression references no sensors"
+            )
+
+    def evaluate(
+        self,
+        fetch: Callable[[str, int, int], Tuple[np.ndarray, np.ndarray]],
+        start_ts: int,
+        end_ts: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate over ``[start_ts, end_ts]``.
+
+        ``fetch(topic, start, end)`` must return (timestamps, values)
+        for a physical sensor.  Inputs are aligned to the evaluation
+        grid with sample-and-hold; grid points before an input's first
+        reading are NaN.  Returns (grid_timestamps, values).
+        """
+        if start_ts > end_ts:
+            raise QueryError(f"inverted range: {start_ts} > {end_ts}")
+        grid = np.arange(start_ts, end_ts + 1, self.interval_ns, dtype=np.int64)
+        if grid.size == 0:
+            return grid, np.empty(0)
+        aligned: Dict[str, np.ndarray] = {}
+        # Look back one extra interval so sample-and-hold has a seed.
+        lookback = start_ts - 16 * self.interval_ns
+        for topic in self.inputs:
+            ts, values = fetch(topic, lookback, end_ts)
+            ts = np.asarray(ts, dtype=np.int64)
+            values = np.asarray(values, dtype=np.float64)
+            if ts.size == 0:
+                aligned[topic] = np.full(grid.size, np.nan)
+                continue
+            idx = np.searchsorted(ts, grid, side="right") - 1
+            col = np.where(idx >= 0, values[np.clip(idx, 0, None)], np.nan)
+            aligned[topic] = col
+        out = self.expression.eval(aligned)
+        out = np.broadcast_to(np.asarray(out, dtype=np.float64), grid.shape)
+        return grid, np.array(out)
+
+
+class VirtualSensorRegistry:
+    """Topic-keyed collection of virtual sensors for one host."""
+
+    def __init__(self) -> None:
+        self._sensors: Dict[str, VirtualSensor] = {}
+
+    def register(self, sensor: VirtualSensor) -> VirtualSensor:
+        if sensor.topic in self._sensors:
+            raise ConfigError(f"duplicate virtual sensor {sensor.topic}")
+        self._sensors[sensor.topic] = sensor
+        return sensor
+
+    def define(self, topic: str, expression: str, interval_ns: int) -> VirtualSensor:
+        """Create and register in one step."""
+        return self.register(VirtualSensor(topic, expression, interval_ns))
+
+    def get(self, topic: str) -> Optional[VirtualSensor]:
+        return self._sensors.get(topic)
+
+    def topics(self) -> List[str]:
+        return sorted(self._sensors)
+
+    def __contains__(self, topic: str) -> bool:
+        return topic in self._sensors
+
+    def __len__(self) -> int:
+        return len(self._sensors)

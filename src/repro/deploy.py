@@ -1,0 +1,267 @@
+"""Declarative deployment of a full simulated DCDB+Wintermute system.
+
+Production DCDB is configured through files read at daemon start-up;
+this module provides the equivalent for the reproduction: one JSON-able
+specification describes the cluster, the monitoring plugins each Pusher
+loads, the Wintermute plugin blocks per host, and the job schedule — and
+:func:`build_deployment` materialises the whole system on a shared
+simulation clock.
+
+Specification shape (all sections optional except ``cluster``)::
+
+    {
+      "cluster": {"nodes": 4, "cpus": 8, "seed": 7,
+                  "anomalies": {"<node-path>": 1.2}},
+      "monitoring": {
+        "plugins": ["sysfs", "procfs", "perfevent"],
+        "perfevent_counters": ["cpu-cycles", "instructions"],
+        "interval_ms": 1000,
+        "cache_window_s": 180
+      },
+      "jobs": [
+        {"app": "lammps", "nodes": 2, "start_s": 1, "end_s": 300}
+      ],
+      "facility": {"enabled": true, "setpoint_c": 40,
+                   "interval_s": 10},
+      "analytics": {
+        "pushers": [ <wintermute plugin config block>, ... ],
+        "agent":   [ <wintermute plugin config block>, ... ]
+      }
+    }
+
+``jobs`` entries either give a node count (FCFS allocation) or an
+explicit ``node_paths`` list.  With a ``facility`` section, a cooling
+loop is attached to the cluster and sampled by a dedicated facility
+Pusher under ``/facility/cooling``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.timeutil import NS_PER_MS, NS_PER_SEC
+from repro.core.manager import OperatorManager
+from repro.dcdb import Broker, CollectAgent, Pusher
+from repro.dcdb.plugins import (
+    OpaPlugin,
+    PerfeventPlugin,
+    ProcfsPlugin,
+    SysfsPlugin,
+    TesterMonitoringPlugin,
+)
+from repro.simulator import ClusterSimulator, ClusterSpec
+from repro.simulator.clock import TaskScheduler
+from repro.simulator.scheduler import Job
+
+_MONITORING_PLUGINS = ("sysfs", "procfs", "perfevent", "opa", "tester")
+
+
+class Deployment:
+    """A running simulated system: simulator, pushers, agent, analytics.
+
+    Build directly for programmatic use, or via :func:`build_deployment`
+    from a declarative spec.  The benchmark harness and the examples are
+    both thin layers over this class.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        seed: int = 0xDCDB,
+        monitoring: Sequence[str] = ("sysfs",),
+        perfevent_counters: Optional[Sequence[str]] = None,
+        sampling_interval_ns: int = NS_PER_SEC,
+        cache_window_ns: int = 180 * NS_PER_SEC,
+        anomalies: Optional[Dict[str, float]] = None,
+        tester_sensors: int = 100,
+    ) -> None:
+        unknown = set(monitoring) - set(_MONITORING_PLUGINS)
+        if unknown:
+            raise ConfigError(f"unknown monitoring plugins: {sorted(unknown)}")
+        self.sim = ClusterSimulator(spec, seed=seed, anomalies=anomalies)
+        self.scheduler = TaskScheduler()
+        self.broker = Broker()
+        self.pushers: Dict[str, Pusher] = {}
+        self.managers: Dict[str, OperatorManager] = {}
+        for node in self.sim.node_paths:
+            pusher = Pusher(
+                node, self.broker, self.scheduler,
+                cache_window_ns=cache_window_ns,
+            )
+            if "sysfs" in monitoring:
+                pusher.add_plugin(
+                    SysfsPlugin(self.sim, node, interval_ns=sampling_interval_ns)
+                )
+            if "procfs" in monitoring:
+                pusher.add_plugin(
+                    ProcfsPlugin(self.sim, node, interval_ns=sampling_interval_ns)
+                )
+            if "perfevent" in monitoring:
+                kwargs = {"interval_ns": sampling_interval_ns}
+                if perfevent_counters is not None:
+                    kwargs["counters"] = list(perfevent_counters)
+                pusher.add_plugin(PerfeventPlugin(self.sim, node, **kwargs))
+            if "opa" in monitoring:
+                pusher.add_plugin(
+                    OpaPlugin(self.sim, node, interval_ns=sampling_interval_ns)
+                )
+            if "tester" in monitoring:
+                pusher.add_plugin(
+                    TesterMonitoringPlugin(
+                        node,
+                        n_sensors=tester_sensors,
+                        interval_ns=sampling_interval_ns,
+                    )
+                )
+            manager = OperatorManager(
+                context={"job_source": self.sim.scheduler}
+            )
+            pusher.attach_analytics(manager)
+            self.pushers[node] = pusher
+            self.managers[node] = manager
+        self.agent = CollectAgent(
+            "agent", self.broker, self.scheduler,
+            cache_window_ns=cache_window_ns,
+        )
+        self.agent_manager = OperatorManager(
+            context={"job_source": self.sim.scheduler}
+        )
+        self.agent.attach_analytics(self.agent_manager)
+        self.cooling = None
+        self.facility_pusher: Optional[Pusher] = None
+
+    def attach_facility(
+        self, setpoint_c: Optional[float] = None, interval_ns: int = 10 * NS_PER_SEC
+    ):
+        """Attach a cooling loop plus its facility Pusher.
+
+        Returns the :class:`~repro.simulator.facility.CoolingSystem`,
+        which is also injected as ``cooling`` context into every
+        analytics manager (for control operators).
+        """
+        from repro.simulator.facility import CoolingSystem, FacilityPlugin
+
+        if self.cooling is not None:
+            raise ConfigError("facility already attached")
+        self.cooling = CoolingSystem(self.sim)
+        if setpoint_c is not None:
+            self.cooling.set_setpoint(setpoint_c)
+        self.facility_pusher = Pusher("facility", self.broker, self.scheduler)
+        self.facility_pusher.add_plugin(
+            FacilityPlugin(self.cooling, interval_ns=interval_ns)
+        )
+        for manager in list(self.managers.values()) + [self.agent_manager]:
+            manager._context.setdefault("cooling", self.cooling)
+        return self.cooling
+
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self.scheduler.clock.now
+
+    def run(self, seconds: float) -> None:
+        """Advance the whole deployment by simulated seconds."""
+        self.scheduler.run_until(self.now + int(seconds * NS_PER_SEC))
+
+    def series(self, topic: str):
+        """(timestamps_s, values) of a topic from the agent's storage."""
+        self.agent.flush()
+        ts, val = self.agent.storage.query(topic, 0, 2**62)
+        return np.asarray(ts) / NS_PER_SEC, np.asarray(val)
+
+    def latest(self, topic: str):
+        """Most recent reading of a topic from the agent's view."""
+        self.agent.flush()
+        cache = self.agent.cache_for(topic)
+        if cache is not None and len(cache):
+            return cache.latest()
+        return self.agent.storage.latest(topic)
+
+
+def _cluster_spec(block: dict) -> ClusterSpec:
+    if "racks" in block:
+        return ClusterSpec(
+            racks=block["racks"],
+            chassis_per_rack=block.get("chassis_per_rack", 1),
+            nodes_per_chassis=block.get("nodes_per_chassis", 1),
+            cpus_per_node=block.get("cpus", 4),
+            total_nodes=block.get(
+                "nodes",
+                block["racks"]
+                * block.get("chassis_per_rack", 1)
+                * block.get("nodes_per_chassis", 1),
+            ),
+        )
+    if block.get("preset") == "coolmuc3":
+        return ClusterSpec.coolmuc3()
+    return ClusterSpec.small(
+        nodes=block.get("nodes", 4), cpus=block.get("cpus", 4)
+    )
+
+
+def build_deployment(config: dict) -> Deployment:
+    """Materialise a deployment from a declarative specification."""
+    if "cluster" not in config:
+        raise ConfigError("deployment spec needs a 'cluster' section")
+    cluster = config["cluster"]
+    monitoring = config.get("monitoring", {})
+    dep = Deployment(
+        _cluster_spec(cluster),
+        seed=cluster.get("seed", 0xDCDB),
+        monitoring=tuple(monitoring.get("plugins", ("sysfs",))),
+        perfevent_counters=monitoring.get("perfevent_counters"),
+        sampling_interval_ns=int(
+            monitoring.get("interval_ms", 1000) * NS_PER_MS
+        ),
+        cache_window_ns=int(
+            monitoring.get("cache_window_s", 180) * NS_PER_SEC
+        ),
+        anomalies=cluster.get("anomalies"),
+        tester_sensors=monitoring.get("tester_sensors", 100),
+    )
+    for i, job_block in enumerate(config.get("jobs", [])):
+        start = int(job_block.get("start_s", 0) * NS_PER_SEC)
+        end = int(job_block["end_s"] * NS_PER_SEC)
+        if "node_paths" in job_block:
+            dep.sim.scheduler.add_job(
+                Job(
+                    job_block.get("id", f"job{i}"),
+                    job_block["app"],
+                    tuple(job_block["node_paths"]),
+                    start,
+                    end,
+                )
+            )
+        else:
+            dep.sim.scheduler.submit(
+                job_block["app"],
+                job_block.get("nodes", 1),
+                start,
+                end,
+                job_id=job_block.get("id"),
+            )
+    facility = config.get("facility", {})
+    if facility.get("enabled"):
+        dep.attach_facility(
+            setpoint_c=facility.get("setpoint_c"),
+            interval_ns=int(facility.get("interval_s", 10) * NS_PER_SEC),
+        )
+    analytics = config.get("analytics", {})
+    for block in analytics.get("pushers", []):
+        for manager in dep.managers.values():
+            manager.load_plugin(block)
+    for block in analytics.get("agent", []):
+        dep.agent_manager.load_plugin(block)
+    return dep
+
+
+def load_deployment(path: str) -> Deployment:
+    """Build a deployment from a JSON specification file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return build_deployment(json.load(fh))

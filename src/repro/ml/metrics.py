@@ -1,0 +1,114 @@
+"""Prediction error metrics for the evaluation harness.
+
+Fig 6 reports the average relative error of the power predictor and a
+per-power-bin relative error profile with the fitted probability density
+of the real power values; these functions compute exactly those rows.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Tuple
+
+import numpy as np
+
+
+def relative_error(actual: np.ndarray, predicted: np.ndarray) -> np.ndarray:
+    """Element-wise ``|pred - actual| / |actual|`` (NaN where actual=0)."""
+    actual = np.asarray(actual, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if actual.shape != predicted.shape:
+        raise ValueError(
+            f"shape mismatch: {actual.shape} vs {predicted.shape}"
+        )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.abs(predicted - actual) / np.abs(actual)
+    out[~np.isfinite(out)] = np.nan
+    return out
+
+
+def mean_relative_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Average relative error, ignoring undefined (zero-actual) points."""
+    err = relative_error(actual, predicted)
+    finite = err[np.isfinite(err)]
+    return float(finite.mean()) if finite.size else float("nan")
+
+
+class BinnedErrorProfile(NamedTuple):
+    """Per-bin relative error + data density (the Fig 6b panels).
+
+    Attributes:
+        bin_centers: centre of each value bin.
+        mean_error: average relative error of points in the bin (NaN for
+            empty bins).
+        density: fraction of observations falling in the bin.
+        counts: raw observation counts per bin.
+    """
+
+    bin_centers: np.ndarray
+    mean_error: np.ndarray
+    density: np.ndarray
+    counts: np.ndarray
+
+
+def confusion_matrix(
+    actual: np.ndarray, predicted: np.ndarray, n_classes: Optional[int] = None
+) -> np.ndarray:
+    """Confusion matrix ``M[i, j]`` = count of class-``i`` samples
+    predicted as class ``j`` (for the classifier plugin's evaluation)."""
+    actual = np.asarray(actual, dtype=np.int64)
+    predicted = np.asarray(predicted, dtype=np.int64)
+    if actual.shape != predicted.shape:
+        raise ValueError(
+            f"shape mismatch: {actual.shape} vs {predicted.shape}"
+        )
+    if actual.size and (actual.min() < 0 or predicted.min() < 0):
+        raise ValueError("class labels must be non-negative")
+    k = n_classes
+    if k is None:
+        k = int(max(actual.max(initial=0), predicted.max(initial=0))) + 1
+    matrix = np.zeros((k, k), dtype=np.int64)
+    np.add.at(matrix, (actual, predicted), 1)
+    return matrix
+
+
+def classification_accuracy(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Fraction of samples classified correctly (NaN when empty)."""
+    actual = np.asarray(actual)
+    predicted = np.asarray(predicted)
+    if actual.shape != predicted.shape:
+        raise ValueError(
+            f"shape mismatch: {actual.shape} vs {predicted.shape}"
+        )
+    if actual.size == 0:
+        return float("nan")
+    return float((actual == predicted).mean())
+
+
+def binned_relative_error(
+    actual: np.ndarray,
+    predicted: np.ndarray,
+    n_bins: int = 20,
+    value_range: Optional[Tuple[float, float]] = None,
+) -> BinnedErrorProfile:
+    """Relative error profile over bins of the *actual* value.
+
+    Mirrors Fig 6b: error is grouped by the real power value, exposing
+    that rare high/low-power bins predict worse while the bulk sits
+    around the headline average.
+    """
+    actual = np.asarray(actual, dtype=np.float64)
+    err = relative_error(actual, predicted)
+    lo, hi = value_range if value_range else (actual.min(), actual.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, n_bins + 1)
+    idx = np.clip(np.digitize(actual, edges) - 1, 0, n_bins - 1)
+    counts = np.bincount(idx, minlength=n_bins)
+    sums = np.bincount(idx, weights=np.nan_to_num(err), minlength=n_bins)
+    valid = np.bincount(idx, weights=np.isfinite(err).astype(float), minlength=n_bins)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mean_error = sums / valid
+    mean_error[valid == 0] = np.nan
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    density = counts / max(1, counts.sum())
+    return BinnedErrorProfile(centers, mean_error, density, counts)

@@ -1,0 +1,303 @@
+"""CART decision trees on NumPy (regression and classification).
+
+The split search is fully vectorised: per candidate feature the node's
+samples are sorted once, and the impurity of every possible split is
+evaluated with prefix sums (sum of squares for the MSE criterion, class
+counts for Gini).  Trees are stored as flat arrays so prediction is an
+iterative, vectorised descent rather than per-sample recursion — the
+idiom the HPC-Python guides recommend over Python-level loops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+_NO_FEATURE = -1
+
+
+class _Nodes:
+    """Growable flat node storage."""
+
+    def __init__(self, value_width: int) -> None:
+        self.feature: list = []
+        self.threshold: list = []
+        self.left: list = []
+        self.right: list = []
+        self.value: list = []
+        self.value_width = value_width
+
+    def add(self, value: np.ndarray) -> int:
+        idx = len(self.feature)
+        self.feature.append(_NO_FEATURE)
+        self.threshold.append(0.0)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.value.append(value)
+        return idx
+
+    def finalize(self) -> Tuple[np.ndarray, ...]:
+        return (
+            np.asarray(self.feature, dtype=np.int64),
+            np.asarray(self.threshold, dtype=np.float64),
+            np.asarray(self.left, dtype=np.int64),
+            np.asarray(self.right, dtype=np.int64),
+            np.asarray(self.value, dtype=np.float64),
+        )
+
+
+class _BaseTree:
+    """Shared fit/predict machinery of the two tree flavours."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1: {max_depth}")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise ValueError("bad min_samples parameters")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(random_state)
+        self._fitted = False
+
+    # -- subclass hooks -------------------------------------------------
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, float]:
+        """Best (threshold, impurity decrease) for one feature column."""
+        raise NotImplementedError
+
+    def _node_impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    # -- fitting ----------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_BaseTree":
+        """Grow the tree on ``(X, y)``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = self._prepare_targets(np.asarray(y))
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError(f"length mismatch: {len(X)} vs {len(y)}")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_features_ = X.shape[1]
+        nodes = _Nodes(self._value_width())
+        # Explicit stack avoids recursion limits on deep trees.
+        root = nodes.add(self._leaf_value(y))
+        stack = [(root, np.arange(len(X)), 0)]
+        n_feat_try = self.max_features or self.n_features_
+        n_feat_try = min(n_feat_try, self.n_features_)
+        while stack:
+            node_id, idx, depth = stack.pop()
+            y_node = y[idx]
+            if (
+                depth >= self.max_depth
+                or len(idx) < self.min_samples_split
+                or self._node_impurity(y_node) <= 1e-12
+            ):
+                continue
+            features = self._rng.choice(
+                self.n_features_, size=n_feat_try, replace=False
+            )
+            best_gain, best_feature, best_threshold = 0.0, -1, 0.0
+            for f in features:
+                threshold, gain = self._best_split(X[idx, f], y_node)
+                if gain > best_gain:
+                    best_gain, best_feature, best_threshold = gain, int(f), threshold
+            if best_feature < 0:
+                continue
+            mask = X[idx, best_feature] <= best_threshold
+            left_idx, right_idx = idx[mask], idx[~mask]
+            if (
+                len(left_idx) < self.min_samples_leaf
+                or len(right_idx) < self.min_samples_leaf
+            ):
+                continue
+            nodes.feature[node_id] = best_feature
+            nodes.threshold[node_id] = best_threshold
+            left = nodes.add(self._leaf_value(y[left_idx]))
+            right = nodes.add(self._leaf_value(y[right_idx]))
+            nodes.left[node_id], nodes.right[node_id] = left, right
+            stack.append((left, left_idx, depth + 1))
+            stack.append((right, right_idx, depth + 1))
+        (
+            self.feature_,
+            self.threshold_,
+            self.left_,
+            self.right_,
+            self.value_,
+        ) = nodes.finalize()
+        self._fitted = True
+        return self
+
+    def _prepare_targets(self, y: np.ndarray) -> np.ndarray:
+        return np.asarray(y, dtype=np.float64)
+
+    def _value_width(self) -> int:
+        return 1
+
+    # -- prediction -------------------------------------------------------
+
+    def _leaf_indices(self, X: np.ndarray) -> np.ndarray:
+        """Leaf node id of every sample (vectorised descent)."""
+        if not self._fitted:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X must be 2-D with {self.n_features_} features, got {X.shape}"
+            )
+        node = np.zeros(len(X), dtype=np.int64)
+        for _ in range(self.max_depth + 1):
+            feature = self.feature_[node]
+            active = feature >= 0
+            if not active.any():
+                break
+            rows = np.nonzero(active)[0]
+            f = feature[rows]
+            go_left = X[rows, f] <= self.threshold_[node[rows]]
+            node[rows] = np.where(
+                go_left, self.left_[node[rows]], self.right_[node[rows]]
+            )
+        return node
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the fitted tree."""
+        return len(self.feature_) if self._fitted else 0
+
+
+def _mse_best_split(
+    x: np.ndarray, y: np.ndarray, min_leaf: int
+) -> Tuple[float, float]:
+    """Best threshold by SSE reduction over all split positions."""
+    n = len(x)
+    if n < 2 * min_leaf:
+        return 0.0, 0.0
+    order = np.argsort(x, kind="stable")
+    xs, ys = x[order], y[order]
+    cum = np.cumsum(ys)
+    cumsq = np.cumsum(ys * ys)
+    total_sse = cumsq[-1] - cum[-1] ** 2 / n
+    # Split after position i (1-based counts): left has i samples.
+    counts = np.arange(1, n, dtype=np.float64)
+    sse_left = cumsq[:-1] - cum[:-1] ** 2 / counts
+    right_sum = cum[-1] - cum[:-1]
+    right_sq = cumsq[-1] - cumsq[:-1]
+    sse_right = right_sq - right_sum**2 / (n - counts)
+    sse = sse_left + sse_right
+    valid = (xs[1:] > xs[:-1]) & (counts >= min_leaf) & (n - counts >= min_leaf)
+    if not valid.any():
+        return 0.0, 0.0
+    sse = np.where(valid, sse, np.inf)
+    best = int(np.argmin(sse))
+    gain = float(total_sse - sse[best])
+    threshold = float((xs[best] + xs[best + 1]) / 2.0)
+    return threshold, max(gain, 0.0)
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regression tree minimising squared error."""
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        return np.array([y.mean()])
+
+    def _node_impurity(self, y: np.ndarray) -> float:
+        return float(y.var()) if len(y) > 1 else 0.0
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, float]:
+        return _mse_best_split(x, y, self.min_samples_leaf)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted targets for each row of ``X``."""
+        leaves = self._leaf_indices(X)
+        return self.value_[leaves, 0]
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART classification tree minimising Gini impurity.
+
+    Class labels must be integers in ``[0, n_classes)``; pass
+    ``n_classes`` explicitly when a fit subset may miss some labels.
+    """
+
+    def __init__(self, n_classes: Optional[int] = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.n_classes = n_classes
+
+    def _prepare_targets(self, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=np.int64)
+        if y.size and y.min() < 0:
+            raise ValueError("class labels must be non-negative integers")
+        inferred = int(y.max()) + 1 if y.size else 1
+        if self.n_classes is None:
+            self.n_classes = inferred
+        elif inferred > self.n_classes:
+            raise ValueError(
+                f"label {inferred - 1} outside declared {self.n_classes} classes"
+            )
+        return y
+
+    def _value_width(self) -> int:
+        return self.n_classes or 1
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y, minlength=self.n_classes).astype(np.float64)
+        return counts / max(1, counts.sum())
+
+    def _node_impurity(self, y: np.ndarray) -> float:
+        p = self._leaf_value(y)
+        return float(1.0 - (p * p).sum())
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, float]:
+        n = len(x)
+        min_leaf = self.min_samples_leaf
+        if n < 2 * min_leaf:
+            return 0.0, 0.0
+        order = np.argsort(x, kind="stable")
+        xs, ys = x[order], y[order]
+        onehot = np.zeros((n, self.n_classes), dtype=np.float64)
+        onehot[np.arange(n), ys] = 1.0
+        cum = np.cumsum(onehot, axis=0)
+        total = cum[-1]
+        parent_gini = 1.0 - ((total / n) ** 2).sum()
+        counts = np.arange(1, n, dtype=np.float64)
+        left = cum[:-1]
+        right = total - left
+        gini_left = 1.0 - ((left / counts[:, None]) ** 2).sum(axis=1)
+        gini_right = 1.0 - ((right / (n - counts)[:, None]) ** 2).sum(axis=1)
+        weighted = (counts * gini_left + (n - counts) * gini_right) / n
+        valid = (
+            (xs[1:] > xs[:-1]) & (counts >= min_leaf) & (n - counts >= min_leaf)
+        )
+        if not valid.any():
+            return 0.0, 0.0
+        weighted = np.where(valid, weighted, np.inf)
+        best = int(np.argmin(weighted))
+        gain = float(parent_gini - weighted[best]) * n
+        threshold = float((xs[best] + xs[best + 1]) / 2.0)
+        return threshold, max(gain, 0.0)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Per-class probabilities from leaf class frequencies."""
+        leaves = self._leaf_indices(X)
+        return self.value_[leaves]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most likely class for each row of ``X``."""
+        return np.argmax(self.predict_proba(X), axis=1)

@@ -1,0 +1,49 @@
+"""Operator plugin library.
+
+Importing this package registers every bundled Wintermute operator
+plugin with the registry in :mod:`repro.core.registry`:
+
+- ``tester`` -- performs configurable Query Engine traffic (the Fig 5
+  overhead driver).
+- ``aggregator`` -- window aggregates (mean/std/min/max/quantiles/...).
+- ``smoother`` -- moving-average smoothing of individual sensors.
+- ``perfmetrics`` -- derived CPU metrics: CPI, instruction/FLOP rates,
+  vectorisation and miss ratios (Fig 7 stage 1).
+- ``persyst`` -- per-job quantile aggregation, a re-implementation of
+  the PerSyst transport described in the paper (Fig 7 stage 2).
+- ``regressor`` -- window-statistics random-forest regression with
+  online training-set accumulation (Fig 6).
+- ``classifier`` -- random-forest classification of sensor windows.
+- ``clustering`` -- Bayesian Gaussian mixture clustering of per-unit
+  feature averages with outlier flagging (Fig 8).
+- ``health`` -- threshold health checks usable as feedback-loop
+  controllers.
+- ``correlation`` -- pairwise correlation signatures of a unit's
+  sensors (fault-detection fingerprints).
+"""
+
+from repro.plugins.tester import TesterOperator
+from repro.plugins.aggregator import AggregatorOperator
+from repro.plugins.smoother import SmootherOperator
+from repro.plugins.perfmetrics import PerfMetricsOperator
+from repro.plugins.persyst import PerSystOperator
+from repro.plugins.regressor import RegressorOperator
+from repro.plugins.classifier import ClassifierOperator
+from repro.plugins.clustering import ClusteringOperator
+from repro.plugins.health import HealthOperator
+from repro.plugins.correlation import CorrelationOperator
+from repro.plugins.filesink import FileSinkOperator
+
+__all__ = [
+    "CorrelationOperator",
+    "FileSinkOperator",
+    "TesterOperator",
+    "AggregatorOperator",
+    "SmootherOperator",
+    "PerfMetricsOperator",
+    "PerSystOperator",
+    "RegressorOperator",
+    "ClassifierOperator",
+    "ClusteringOperator",
+    "HealthOperator",
+]

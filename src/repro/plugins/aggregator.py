@@ -1,0 +1,129 @@
+"""Aggregator operator plugin.
+
+The bread-and-butter plugin of the production deployment ("Wintermute is
+currently deployed to perform aggregation of monitored metrics in the
+CooLMUC-3 system"): each unit pools the readings of all its input
+sensors over the configured window and emits scalar aggregates.
+
+Params:
+    ``ops`` (dict): output-sensor-name -> aggregate.  Supported
+        aggregates: ``mean``, ``std``, ``min``, ``max``, ``sum``,
+        ``median``, ``count``, ``last``, ``delta`` (last - first, for
+        monotonic counters), ``rate`` (delta per second), ``qNN``
+        (quantile, e.g. ``q90``).
+    ``op`` (str): shorthand when there is a single output sensor.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.core.operator import OperatorBase, OperatorConfig
+from repro.core.registry import operator_plugin
+from repro.core.units import Unit
+from repro.dcdb.cache import CacheView
+
+_QUANTILE_RE = re.compile(r"^q(100|\d{1,2})$")
+
+
+def _delta(view: CacheView) -> float:
+    values = view.values()
+    return float(values[-1] - values[0]) if len(values) >= 2 else float("nan")
+
+
+def _rate(view: CacheView) -> float:
+    if len(view) < 2:
+        return float("nan")
+    ts = view.timestamps()
+    span_s = (int(ts[-1]) - int(ts[0])) / 1e9
+    if span_s <= 0:
+        return float("nan")
+    values = view.values()
+    return float((values[-1] - values[0]) / span_s)
+
+
+_SIMPLE_OPS: Dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda v: float(v.mean()),
+    "std": lambda v: float(v.std()),
+    "min": lambda v: float(v.min()),
+    "max": lambda v: float(v.max()),
+    "sum": lambda v: float(v.sum()),
+    "median": lambda v: float(np.median(v)),
+    "count": lambda v: float(len(v)),
+    "last": lambda v: float(v[-1]),
+}
+
+
+@operator_plugin("aggregator")
+class AggregatorOperator(OperatorBase):
+    """Window aggregates over each unit's pooled input readings."""
+
+    def __init__(self, config: OperatorConfig) -> None:
+        super().__init__(config)
+        ops = dict(config.params.get("ops", {}))
+        single = config.params.get("op")
+        if single is not None:
+            # Units may get their outputs from config patterns or from
+            # explicit set_units; only multiple *declared* outputs make
+            # the shorthand ambiguous.
+            if len(config.outputs) > 1:
+                raise ConfigError(
+                    f"{config.name}: shorthand 'op' needs exactly one output"
+                )
+            # Bind the shorthand to whatever the single output is named.
+            ops["*"] = single
+        if not ops:
+            raise ConfigError(f"{config.name}: params.ops (or op) is required")
+        self._ops: Dict[str, str] = {}
+        for out_name, op in ops.items():
+            self._validate_op(op)
+            self._ops[out_name] = op
+
+    @staticmethod
+    def _validate_op(op: str) -> None:
+        if op in _SIMPLE_OPS or op in ("delta", "rate"):
+            return
+        if _QUANTILE_RE.match(op):
+            return
+        raise ConfigError(f"unknown aggregate {op!r}")
+
+    def _apply(self, op: str, view: CacheView, pooled: np.ndarray) -> float:
+        if op == "delta":
+            return _delta(view)
+        if op == "rate":
+            return _rate(view)
+        if pooled.size == 0:
+            return float("nan")
+        match = _QUANTILE_RE.match(op)
+        if match:
+            return float(np.percentile(pooled, int(match.group(1))))
+        return _SIMPLE_OPS[op](pooled)
+
+    def compute_unit(self, unit: Unit, ts: int) -> Dict[str, float]:
+        assert self.engine is not None
+        views = [
+            self.engine.query_relative(t, self.config.window_ns)
+            for t in unit.inputs
+        ]
+        pooled = (
+            np.concatenate([v.values() for v in views])
+            if views
+            else np.empty(0)
+        )
+        # delta/rate act on the first input's window (they are
+        # counter-oriented and pooling counters is meaningless).
+        first = views[0] if views else CacheView.empty()
+        out: Dict[str, float] = {}
+        for sensor in unit.outputs:
+            op = self._ops.get(sensor.name) or self._ops.get("*")
+            if op is None:
+                raise ConfigError(
+                    f"{self.name}: no aggregate configured for output "
+                    f"{sensor.name!r}"
+                )
+            out[sensor.name] = self._apply(op, first, pooled)
+        return out

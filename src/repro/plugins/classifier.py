@@ -1,0 +1,161 @@
+"""Classifier operator plugin.
+
+Random-forest classification of sensor windows — the building block for
+application-fingerprinting and fault-detection use cases of the
+taxonomy (Fig 1).  Like the regressor it extracts statistical features
+from each input sensor's window; unlike it, the response is a discrete
+label read from a designated label sensor at the *same* interval (a
+window is classified, not forecast).
+
+Params:
+    ``label`` (str, required): input sensor carrying integer class
+        labels (e.g. an app id published by the scheduler, or a fault
+        injector's ground truth).
+    ``n_classes`` (int, required): number of classes.
+    ``training_samples`` (int): fit threshold (default 500).
+    ``n_estimators`` / ``max_depth``: forest hyper-parameters.
+    ``delta_inputs`` (list of str): counter inputs to difference.
+    ``seed`` (int): forest randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.core.operator import OperatorBase, OperatorConfig
+from repro.core.registry import operator_plugin
+from repro.core.units import Unit
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.stats import window_features
+
+
+class OnlineClassificationModel:
+    """Training buffer + forest for one classifier model."""
+
+    def __init__(
+        self,
+        training_samples: int,
+        n_classes: int,
+        n_estimators: int,
+        max_depth: int,
+        seed: int,
+    ) -> None:
+        self.training_samples = training_samples
+        self.forest = RandomForestClassifier(
+            n_classes=n_classes,
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            random_state=seed,
+        )
+        self._X: List[np.ndarray] = []
+        self._y: List[int] = []
+
+    @property
+    def trained(self) -> bool:
+        """Whether the forest has been fitted."""
+        return self.forest.is_fitted
+
+    def add_pair(self, features: np.ndarray, label: int) -> None:
+        """Append one labelled window; fit at the threshold."""
+        if self.trained:
+            return
+        self._X.append(features)
+        self._y.append(label)
+        if len(self._y) >= self.training_samples:
+            self.forest.fit(np.vstack(self._X), np.asarray(self._y))
+            self._X.clear()
+            self._y.clear()
+
+    def predict(self, features: np.ndarray) -> int:
+        """Most probable class of one feature vector."""
+        return int(self.forest.predict(features[None, :])[0])
+
+
+@operator_plugin("classifier")
+class ClassifierOperator(OperatorBase):
+    """Window-features random-forest classification."""
+
+    def __init__(self, config: OperatorConfig) -> None:
+        super().__init__(config)
+        params = config.params
+        label = params.get("label")
+        if not label:
+            raise ConfigError(f"{config.name}: params.label is required")
+        self.label = str(label)
+        n_classes = params.get("n_classes")
+        if not n_classes or int(n_classes) < 2:
+            raise ConfigError(f"{config.name}: params.n_classes must be >= 2")
+        self.n_classes = int(n_classes)
+        self.training_samples = int(params.get("training_samples", 500))
+        self.n_estimators = int(params.get("n_estimators", 15))
+        self.max_depth = int(params.get("max_depth", 10))
+        self.delta_inputs = set(params.get("delta_inputs", []))
+        self.seed = int(params.get("seed", 0))
+        if config.window_ns <= 0:
+            raise ConfigError(
+                f"{config.name}: classifier needs a positive feature window"
+            )
+
+    def make_model(self) -> OnlineClassificationModel:
+        return OnlineClassificationModel(
+            self.training_samples,
+            self.n_classes,
+            self.n_estimators,
+            self.max_depth,
+            self.seed,
+        )
+
+    def _features(self, unit: Unit) -> Optional[np.ndarray]:
+        assert self.engine is not None
+        parts: List[np.ndarray] = []
+        for topic in unit.inputs:
+            name = topic.rsplit("/", 1)[-1]
+            if name == self.label:
+                continue  # the label is not a feature
+            view = self.engine.query_relative(topic, self.config.window_ns)
+            values = view.values()
+            if name in self.delta_inputs:
+                if len(values) < 2:
+                    return None
+                values = np.diff(values)
+            if values.size == 0:
+                return None
+            parts.append(window_features(values))
+        if not parts:
+            return None
+        features = np.concatenate(parts)
+        if not np.all(np.isfinite(features)):
+            return None
+        return features
+
+    def _label_value(self, unit: Unit) -> Optional[int]:
+        assert self.engine is not None
+        topics = unit.inputs_named(self.label)
+        if not topics:
+            raise ConfigError(
+                f"{self.name}: unit {unit.name} has no input sensor named "
+                f"{self.label!r}"
+            )
+        view = self.engine.latest(topics[0])
+        if not len(view):
+            return None
+        label = int(round(view.values()[-1]))
+        if not (0 <= label < self.n_classes):
+            return None
+        return label
+
+    def compute_unit(self, unit: Unit, ts: int) -> Dict[str, float]:
+        model: OnlineClassificationModel = self.model_for(unit)
+        features = self._features(unit)
+        if features is None:
+            return {}
+        if not model.trained:
+            label = self._label_value(unit)
+            if label is not None:
+                model.add_pair(features, label)
+            return {}
+        predicted = model.predict(features)
+        return {sensor.name: float(predicted) for sensor in unit.outputs}

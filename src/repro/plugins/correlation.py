@@ -1,0 +1,109 @@
+"""Correlation-signature operator plugin.
+
+Inspired by the CS-signatures plugin of the production Wintermute
+release: a unit's *signature* is the vector of pairwise Pearson
+correlations between its input sensors over the analysis window.
+Correlation structure is a robust fingerprint of component behaviour —
+e.g. power and temperature decorrelating on a node is an early fault
+indicator (the fault-detection class of the paper's taxonomy), and
+cross-sensor correlations feed anomaly detectors without unit-scale
+normalisation issues.
+
+Outputs are selected by naming the output sensors:
+
+=====================  ==============================================
+output name            value
+=====================  ==============================================
+``corr-mean``          mean of all pairwise correlations
+``corr-min``           weakest pairwise correlation
+``corr-<i>-<j>``       correlation between inputs ``i`` and ``j``
+                       (0-based indexes in unit input order)
+=====================  ==============================================
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.core.operator import OperatorBase, OperatorConfig
+from repro.core.registry import operator_plugin
+from repro.core.units import Unit
+
+_PAIR_RE = re.compile(r"^corr-(\d+)-(\d+)$")
+
+
+@operator_plugin("correlation")
+class CorrelationOperator(OperatorBase):
+    """Pairwise correlation signatures over each unit's input windows.
+
+    Params:
+        ``min_samples`` (int): minimum overlapping readings per sensor
+            window before a signature is emitted (default 8).
+    """
+
+    def __init__(self, config: OperatorConfig) -> None:
+        super().__init__(config)
+        if config.window_ns <= 0:
+            raise ConfigError(
+                f"{config.name}: correlation needs a positive window"
+            )
+        self.min_samples = int(config.params.get("min_samples", 8))
+        if self.min_samples < 3:
+            raise ConfigError(f"{config.name}: min_samples must be >= 3")
+
+    def _windows(self, unit: Unit) -> Optional[np.ndarray]:
+        """Stacked per-sensor windows truncated to a common length."""
+        assert self.engine is not None
+        columns: List[np.ndarray] = []
+        for topic in unit.inputs:
+            view = self.engine.query_relative(topic, self.config.window_ns)
+            values = view.values()
+            if len(values) < self.min_samples:
+                return None
+            columns.append(values)
+        n = min(len(c) for c in columns)
+        return np.vstack([c[-n:] for c in columns])
+
+    def compute_unit(self, unit: Unit, ts: int) -> Dict[str, float]:
+        if len(unit.inputs) < 2:
+            raise ConfigError(
+                f"{self.name}: unit {unit.name} needs >= 2 inputs for a "
+                f"correlation signature"
+            )
+        data = self._windows(unit)
+        if data is None:
+            return {}
+        with np.errstate(invalid="ignore"):
+            corr = np.corrcoef(data)
+        k = len(unit.inputs)
+        iu = np.triu_indices(k, 1)
+        pairs = corr[iu]
+        # Constant windows produce NaN correlations; define them as 0
+        # (no linear relationship observable).
+        pairs = np.nan_to_num(pairs, nan=0.0)
+        out: Dict[str, float] = {}
+        for sensor in unit.outputs:
+            name = sensor.name
+            if name == "corr-mean":
+                out[name] = float(pairs.mean())
+            elif name == "corr-min":
+                out[name] = float(pairs.min())
+            else:
+                match = _PAIR_RE.match(name)
+                if match is None:
+                    raise ConfigError(
+                        f"{self.name}: unknown correlation output {name!r}"
+                    )
+                i, j = int(match.group(1)), int(match.group(2))
+                if not (0 <= i < k and 0 <= j < k and i != j):
+                    raise ConfigError(
+                        f"{self.name}: pair ({i},{j}) outside the unit's "
+                        f"{k} inputs"
+                    )
+                value = corr[i, j]
+                out[name] = float(0.0 if np.isnan(value) else value)
+        return out

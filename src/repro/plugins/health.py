@@ -1,0 +1,85 @@
+"""Health operator plugin.
+
+A threshold health check with hysteresis — the simplest useful *control
+operator* for the feedback loops of Section IV-d: placed at the end of a
+pipeline, its boolean output sensor can drive a knob (a frequency cap, a
+scheduler weight) through a downstream consumer.
+
+Each unit's input windows are averaged and checked against per-sensor
+``[min, max]`` bounds; the unit is healthy when every input is in
+bounds.  Hysteresis (``trip_count``) requires that many consecutive
+violating passes before the output flips to unhealthy, suppressing
+single-sample trips.
+
+Params:
+    ``bounds`` (dict): input-sensor-name -> ``[min, max]`` (either may
+        be null for one-sided checks).
+    ``trip_count`` (int): consecutive violations required (default 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.core.operator import OperatorBase, OperatorConfig
+from repro.core.registry import operator_plugin
+from repro.core.units import Unit
+
+
+@operator_plugin("health")
+class HealthOperator(OperatorBase):
+    """Threshold health checks with hysteresis."""
+
+    def __init__(self, config: OperatorConfig) -> None:
+        super().__init__(config)
+        bounds = config.params.get("bounds")
+        if not isinstance(bounds, dict) or not bounds:
+            raise ConfigError(
+                f"{config.name}: params.bounds (sensor -> [min, max]) "
+                f"is required"
+            )
+        self.bounds: Dict[str, Tuple[Optional[float], Optional[float]]] = {}
+        for name, pair in bounds.items():
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise ConfigError(
+                    f"{config.name}: bounds[{name!r}] must be [min, max]"
+                )
+            lo, hi = pair
+            if lo is not None and hi is not None and lo > hi:
+                raise ConfigError(
+                    f"{config.name}: bounds[{name!r}]: min > max"
+                )
+            self.bounds[name] = (lo, hi)
+        self.trip_count = int(config.params.get("trip_count", 1))
+        if self.trip_count < 1:
+            raise ConfigError(f"{config.name}: trip_count must be >= 1")
+        self._violations: Dict[str, int] = {}
+
+    def _in_bounds(self, name: str, value: float) -> bool:
+        lo, hi = self.bounds.get(name, (None, None))
+        if lo is not None and value < lo:
+            return False
+        if hi is not None and value > hi:
+            return False
+        return True
+
+    def compute_unit(self, unit: Unit, ts: int) -> Dict[str, float]:
+        assert self.engine is not None
+        violated: List[str] = []
+        for topic in unit.inputs:
+            name = topic.rsplit("/", 1)[-1]
+            if name not in self.bounds:
+                continue
+            view = self.engine.query_relative(topic, self.config.window_ns)
+            values = view.values()
+            if values.size == 0:
+                continue
+            if not self._in_bounds(name, float(values.mean())):
+                violated.append(name)
+        if violated:
+            self._violations[unit.name] = self._violations.get(unit.name, 0) + 1
+        else:
+            self._violations[unit.name] = 0
+        healthy = self._violations[unit.name] < self.trip_count
+        return {sensor.name: 1.0 if healthy else 0.0 for sensor in unit.outputs}

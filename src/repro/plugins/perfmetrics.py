@@ -1,0 +1,104 @@
+"""PerfMetrics operator plugin (Fig 7, stage 1).
+
+"The first perfmetrics plugin, instantiated in the Pushers, takes as
+input CPU and node-level data and computes as output a series of derived
+performance metrics, such as cycles per instruction (CPI), floating
+point operations per second (FLOPS) or vectorization ratio."
+
+Each unit is typically one CPU core; the plugin reads the raw monotonic
+counters over the configured window, forms per-interval deltas and
+derives the requested metrics — selected simply by naming the output
+sensors:
+
+===============  ====================================================
+output name      derived metric
+===============  ====================================================
+``cpi``          delta(cycles) / delta(instructions)
+``ipc``          delta(instructions) / delta(cycles)
+``instr-rate``   delta(instructions) per second
+``flops-rate``   delta(flops) per second
+``vector-ratio`` delta(vector-ops) / delta(instructions)
+``miss-ratio``   delta(cache-misses) / delta(cache-references)
+===============  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.errors import ConfigError
+from repro.core.operator import OperatorBase, OperatorConfig
+from repro.core.registry import operator_plugin
+from repro.core.units import Unit
+
+#: metric -> (numerator counter, denominator counter or None for /second)
+_METRICS = {
+    "cpi": ("cpu-cycles", "instructions"),
+    "ipc": ("instructions", "cpu-cycles"),
+    "instr-rate": ("instructions", None),
+    "flops-rate": ("flops", None),
+    "vector-ratio": ("vector-ops", "instructions"),
+    "miss-ratio": ("cache-misses", "cache-references"),
+}
+
+
+@operator_plugin("perfmetrics")
+class PerfMetricsOperator(OperatorBase):
+    """Derives performance metrics from raw counter deltas."""
+
+    def __init__(self, config: OperatorConfig) -> None:
+        super().__init__(config)
+        if config.window_ns <= 0:
+            raise ConfigError(
+                f"{config.name}: perfmetrics needs a positive window to "
+                f"form counter deltas"
+            )
+
+    def _delta(self, unit: Unit, counter: str, ts: int) -> Optional[float]:
+        """Window delta of the unit's input counter named ``counter``."""
+        assert self.engine is not None
+        topics = unit.inputs_named(counter)
+        if not topics:
+            return None
+        view = self.engine.query_relative(topics[0], self.config.window_ns)
+        if len(view) < 2:
+            return None
+        values = view.values()
+        return float(values[-1] - values[0])
+
+    def _span_seconds(self, unit: Unit, counter: str) -> Optional[float]:
+        assert self.engine is not None
+        topics = unit.inputs_named(counter)
+        if not topics:
+            return None
+        view = self.engine.query_relative(topics[0], self.config.window_ns)
+        if len(view) < 2:
+            return None
+        ts = view.timestamps()
+        span = (int(ts[-1]) - int(ts[0])) / 1e9
+        return span if span > 0 else None
+
+    def compute_unit(self, unit: Unit, ts: int) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for sensor in unit.outputs:
+            spec = _METRICS.get(sensor.name)
+            if spec is None:
+                raise ConfigError(
+                    f"{self.name}: unknown derived metric {sensor.name!r}; "
+                    f"supported: {sorted(_METRICS)}"
+                )
+            num_counter, den_counter = spec
+            num = self._delta(unit, num_counter, ts)
+            if num is None:
+                continue
+            if den_counter is None:
+                span = self._span_seconds(unit, num_counter)
+                if span is None:
+                    continue
+                out[sensor.name] = num / span
+            else:
+                den = self._delta(unit, den_counter, ts)
+                if den is None or den <= 0:
+                    continue
+                out[sensor.name] = num / den
+        return out

@@ -1,0 +1,51 @@
+"""Smoother operator plugin.
+
+Moving-average smoothing of individual sensors: each unit's first input
+sensor is averaged over the configured window and written to the unit's
+output.  With an exponential ``alpha`` parameter the plugin switches to
+exponentially weighted smoothing, which weights recent readings higher —
+useful ahead of threshold-based control operators to suppress spikes.
+
+Params:
+    ``alpha`` (float, optional): EWMA weight in (0, 1]; when absent a
+        plain window mean is used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.core.operator import OperatorBase, OperatorConfig
+from repro.core.registry import operator_plugin
+from repro.core.units import Unit
+
+
+@operator_plugin("smoother")
+class SmootherOperator(OperatorBase):
+    """Window-mean or EWMA smoothing of a sensor stream."""
+
+    def __init__(self, config: OperatorConfig) -> None:
+        super().__init__(config)
+        alpha = config.params.get("alpha")
+        if alpha is not None and not (0.0 < float(alpha) <= 1.0):
+            raise ConfigError(f"{config.name}: alpha must be in (0, 1]")
+        self.alpha = float(alpha) if alpha is not None else None
+
+    def compute_unit(self, unit: Unit, ts: int) -> Dict[str, float]:
+        assert self.engine is not None
+        if not unit.inputs:
+            return {}
+        view = self.engine.query_relative(unit.inputs[0], self.config.window_ns)
+        values = view.values()
+        if values.size == 0:
+            return {}
+        if self.alpha is None:
+            smoothed = float(values.mean())
+        else:
+            # EWMA over the window, oldest first.
+            weights = (1.0 - self.alpha) ** np.arange(len(values) - 1, -1, -1)
+            smoothed = float((values * weights).sum() / weights.sum())
+        return {sensor.name: smoothed for sensor in unit.outputs}

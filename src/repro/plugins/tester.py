@@ -1,0 +1,68 @@
+"""Tester operator plugin (Section VI-A).
+
+The overhead study instantiates operators that "simply perform a certain
+number of queries over the input sensors of their units".  This plugin
+reproduces that driver: at each computation interval it issues a
+configurable number of Query Engine requests, in relative or absolute
+mode, over a configurable time range, and reports how many readings the
+queries returned.
+
+Params:
+    ``queries`` (int): queries per computation interval (default 10).
+    ``query_mode`` (str): ``relative`` or ``absolute`` (default
+        ``relative``); selects the O(1) vs O(log N) engine path.
+    ``range_ns`` / ``range_ms`` (number): temporal range per query;
+        0 retrieves only the most recent value of each sensor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import ConfigError
+from repro.common.timeutil import NS_PER_MS
+from repro.core.operator import OperatorBase, OperatorConfig
+from repro.core.registry import operator_plugin
+from repro.core.units import Unit
+
+
+@operator_plugin("tester")
+class TesterOperator(OperatorBase):
+    """Issues synthetic Query Engine load and counts retrieved readings."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, config: OperatorConfig) -> None:
+        super().__init__(config)
+        params = config.params
+        self.n_queries = int(params.get("queries", 10))
+        if self.n_queries < 1:
+            raise ConfigError(f"{config.name}: queries must be >= 1")
+        self.query_mode = params.get("query_mode", "relative")
+        if self.query_mode not in ("relative", "absolute"):
+            raise ConfigError(
+                f"{config.name}: query_mode must be relative|absolute"
+            )
+        if "range_ns" in params:
+            self.range_ns = int(params["range_ns"])
+        else:
+            self.range_ns = int(params.get("range_ms", 0) * NS_PER_MS)
+        if self.range_ns < 0:
+            raise ConfigError(f"{config.name}: range must be >= 0")
+
+    def compute_unit(self, unit: Unit, ts: int) -> Dict[str, float]:
+        assert self.engine is not None
+        retrieved = 0
+        n_inputs = len(unit.inputs)
+        if n_inputs == 0:
+            return {}
+        for q in range(self.n_queries):
+            topic = unit.inputs[q % n_inputs]
+            if self.query_mode == "relative":
+                view = self.engine.query_relative(topic, self.range_ns)
+            else:
+                view = self.engine.query_absolute(
+                    topic, ts - self.range_ns, ts
+                )
+            retrieved += len(view)
+        return {sensor.name: float(retrieved) for sensor in unit.outputs}

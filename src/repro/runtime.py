@@ -1,0 +1,102 @@
+"""Wall-clock execution of a simulated deployment.
+
+The default execution model of this reproduction is a deterministic
+step loop (``TaskScheduler.run_until``).  Production DCDB instead runs
+free-threaded sampling loops in real time; :class:`WallClockDriver`
+bridges the two: it advances a deployment's task scheduler in a
+background thread, pacing simulation time against the host's wall
+clock (optionally faster or slower than real time).
+
+This is what the interactive examples and any live dashboard-style use
+would build on; tests and benchmarks stay on the deterministic path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.common.timeutil import NS_PER_SEC
+from repro.simulator.clock import TaskScheduler
+
+
+class WallClockDriver:
+    """Paces a :class:`TaskScheduler` against real time.
+
+    Args:
+        scheduler: the deployment's task scheduler.
+        speedup: simulated seconds per wall-clock second (1.0 = real
+            time; 60.0 runs a simulated minute every second).
+        tick_s: wall-clock granularity of the driver loop.
+    """
+
+    def __init__(
+        self,
+        scheduler: TaskScheduler,
+        speedup: float = 1.0,
+        tick_s: float = 0.05,
+    ) -> None:
+        if speedup <= 0:
+            raise ValueError(f"speedup must be positive: {speedup}")
+        if tick_s <= 0:
+            raise ValueError(f"tick_s must be positive: {tick_s}")
+        self.scheduler = scheduler
+        self.speedup = float(speedup)
+        self.tick_s = float(tick_s)
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the driver thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "WallClockDriver":
+        """Start pacing in a background thread (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="wintermute-wallclock", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the driver and join its thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def run_for(self, wall_seconds: float) -> None:
+        """Convenience: start, sleep, stop."""
+        self.start()
+        time.sleep(wall_seconds)
+        self.stop()
+
+    def _loop(self) -> None:
+        anchor_wall = time.monotonic()
+        anchor_sim = self.scheduler.clock.now
+        while not self._stop.is_set():
+            time.sleep(self.tick_s)
+            elapsed = time.monotonic() - anchor_wall
+            target = anchor_sim + int(elapsed * self.speedup * NS_PER_SEC)
+            with self._lock:
+                if target > self.scheduler.clock.now:
+                    self.scheduler.run_until(target)
+
+    # ------------------------------------------------------------------
+
+    def pause(self):
+        """Context manager that holds the driver while the caller reads
+        shared state (caches, storage) consistently::
+
+            with driver.pause():
+                latest = pusher.cache_for(topic).latest()
+        """
+        return self._lock

@@ -1,0 +1,124 @@
+"""Cluster topology construction.
+
+Builds the rack/chassis/node/cpu hierarchy whose paths become the sensor
+tree of Section III.  The default spec approximates CooLMUC-3: 148
+compute nodes with 64 cores each, arranged in racks of chassis.  The
+topology is purely structural — per-node behaviour lives in
+:mod:`repro.simulator.node` and :mod:`repro.simulator.workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.common.topics import join_topic
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of a synthetic cluster.
+
+    ``total_nodes`` optionally truncates the node count below the full
+    ``racks * chassis_per_rack * nodes_per_chassis`` grid, which is how
+    we model CooLMUC-3's 148 nodes inside a 5x5x6 = 150 slot layout.
+    """
+
+    racks: int = 5
+    chassis_per_rack: int = 5
+    nodes_per_chassis: int = 6
+    cpus_per_node: int = 64
+    total_nodes: int = 148
+
+    def __post_init__(self) -> None:
+        grid = self.racks * self.chassis_per_rack * self.nodes_per_chassis
+        if not (0 < self.total_nodes <= grid):
+            raise ValueError(
+                f"total_nodes {self.total_nodes} outside grid capacity {grid}"
+            )
+        if min(self.racks, self.chassis_per_rack, self.nodes_per_chassis,
+               self.cpus_per_node) <= 0:
+            raise ValueError("all topology dimensions must be positive")
+
+    @staticmethod
+    def small(nodes: int = 4, cpus: int = 4) -> "ClusterSpec":
+        """A laptop-scale spec for tests and examples."""
+        return ClusterSpec(
+            racks=1,
+            chassis_per_rack=1,
+            nodes_per_chassis=nodes,
+            cpus_per_node=cpus,
+            total_nodes=nodes,
+        )
+
+    @staticmethod
+    def coolmuc3() -> "ClusterSpec":
+        """The CooLMUC-3-like default used by the figure benchmarks."""
+        return ClusterSpec()
+
+
+class ClusterTopology:
+    """Materialised component paths for a :class:`ClusterSpec`.
+
+    Exposes node paths (``/rack02/chassis01/node03``), per-node CPU paths
+    and the chassis/rack containers, plus index lookups used by the
+    simulator engine to map sensor topics back to model state.
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.rack_paths: List[str] = []
+        self.chassis_paths: List[str] = []
+        self.node_paths: List[str] = []
+        #: node path -> list of cpu component paths
+        self.cpus_of_node: Dict[str, List[str]] = {}
+        #: node path -> integer node index
+        self.node_index: Dict[str, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        spec = self.spec
+        count = 0
+        for r in range(spec.racks):
+            rack = join_topic([f"rack{r:02d}"])
+            rack_used = False
+            for c in range(spec.chassis_per_rack):
+                chassis = join_topic([f"rack{r:02d}", f"chassis{c:02d}"])
+                chassis_used = False
+                for n in range(spec.nodes_per_chassis):
+                    if count >= spec.total_nodes:
+                        break
+                    node = join_topic(
+                        [f"rack{r:02d}", f"chassis{c:02d}", f"node{n:02d}"]
+                    )
+                    self.node_paths.append(node)
+                    self.node_index[node] = count
+                    self.cpus_of_node[node] = [
+                        f"{node}/cpu{k:02d}" for k in range(spec.cpus_per_node)
+                    ]
+                    count += 1
+                    chassis_used = True
+                if chassis_used:
+                    self.chassis_paths.append(chassis)
+                    rack_used = True
+            if rack_used:
+                self.rack_paths.append(rack)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of compute nodes."""
+        return len(self.node_paths)
+
+    @property
+    def n_cpus(self) -> int:
+        """Total CPU count across the cluster."""
+        return self.n_nodes * self.spec.cpus_per_node
+
+    def iter_cpu_paths(self) -> Iterator[str]:
+        """All CPU component paths, node-major order."""
+        for node in self.node_paths:
+            yield from self.cpus_of_node[node]
+
+    def node_of_cpu(self, cpu_path: str) -> str:
+        """The node path owning a CPU path."""
+        return cpu_path.rsplit("/", 1)[0]

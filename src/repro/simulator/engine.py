@@ -1,0 +1,247 @@
+"""The cluster simulation engine.
+
+:class:`ClusterSimulator` ties together topology, per-node power models,
+application workload instances and the job scheduler.  Monitoring
+plugins (``repro.dcdb.plugins``) read from it the same way DCDB's
+perfevent/sysfs/procfs/opa plugins read from hardware interfaces.
+
+Counters are integrated lazily per node: a node's state advances only
+when something samples it, using the workload's midpoint rates over the
+elapsed interval.  All per-core counters of a node update in one
+vectorised step, so sampling a 64-core node costs a handful of NumPy
+operations regardless of core count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.rng import derive_seed
+from repro.common.timeutil import NS_PER_SEC
+from repro.simulator.cluster import ClusterSpec, ClusterTopology
+from repro.simulator.node import NodeModel, NodePowerParams
+from repro.simulator.scheduler import Job, JobScheduler
+from repro.simulator.workload import AppInstance, IdleProfile, profile_by_name
+
+#: Column layout of the per-core counter matrix.
+CPU_COUNTERS = (
+    "cpu-cycles",
+    "instructions",
+    "cache-misses",
+    "cache-references",
+    "flops",
+    "vector-ops",
+)
+_COUNTER_INDEX = {name: i for i, name in enumerate(CPU_COUNTERS)}
+
+#: Node-level instantaneous sensors.
+NODE_GAUGES = ("power", "temp", "memfree", "freq")
+#: Node-level monotonic counters.
+NODE_COUNTERS = ("energy", "idle-time", "xmit-bytes", "rcv-bytes")
+
+
+class _NodeState:
+    """Mutable simulation state for one compute node."""
+
+    __slots__ = (
+        "model",
+        "counters",
+        "net_xmit",
+        "net_rcv",
+        "instance",
+        "job_id",
+        "job_start_ts",
+        "last_ts",
+        "mean_util",
+        "mean_cpi",
+    )
+
+    def __init__(self, model: NodeModel, n_cores: int, idle: AppInstance):
+        self.model = model
+        self.counters = np.zeros((n_cores, len(CPU_COUNTERS)), dtype=np.float64)
+        self.net_xmit = 0.0
+        self.net_rcv = 0.0
+        self.instance = idle
+        self.job_id: Optional[str] = None
+        self.job_start_ts = 0
+        self.last_ts = -1
+        self.mean_util = 0.0
+        self.mean_cpi = 1.0
+
+
+class ClusterSimulator:
+    """Synthetic cluster producing hardware-like sensor values.
+
+    Args:
+        spec: cluster shape; defaults to the CooLMUC-3-like layout.
+        seed: master seed; every node/job stream derives from it.
+        scheduler: optional externally built job table.  When omitted an
+            empty one over the topology's nodes is created.
+        anomalies: mapping of node path -> power multiplier used to
+            plant anomalous nodes (Fig 8's +20 % power outlier).
+        power_params: shared node electrical constants.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[ClusterSpec] = None,
+        seed: int = 0xDCDB,
+        scheduler: Optional[JobScheduler] = None,
+        anomalies: Optional[Dict[str, float]] = None,
+        power_params: NodePowerParams = NodePowerParams(),
+    ) -> None:
+        self.spec = spec if spec is not None else ClusterSpec()
+        self.topology = ClusterTopology(self.spec)
+        self.seed = int(seed)
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else JobScheduler(self.topology.node_paths)
+        )
+        anomalies = anomalies or {}
+        self._idle_profile = IdleProfile()
+        self._states: Dict[str, _NodeState] = {}
+        for path in self.topology.node_paths:
+            node_seed = derive_seed(self.seed, f"node:{path}")
+            model = NodeModel(
+                path,
+                self.spec.cpus_per_node,
+                node_seed,
+                params=power_params,
+                power_anomaly=anomalies.get(path, 1.0),
+            )
+            idle = self._idle_profile.make_instance(
+                self.spec.cpus_per_node, derive_seed(self.seed, f"idle:{path}")
+            )
+            self._states[path] = _NodeState(model, self.spec.cpus_per_node, idle)
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+
+    def _sync_job(self, state: _NodeState, node_path: str, ts: int) -> None:
+        """Swap the node's app instance if its scheduled job changed."""
+        job = self.scheduler.job_on_node(node_path, ts)
+        job_id = job.job_id if job else None
+        if job_id == state.job_id:
+            return
+        state.job_id = job_id
+        if job is None:
+            state.instance = self._idle_profile.make_instance(
+                self.spec.cpus_per_node,
+                derive_seed(self.seed, f"idle:{node_path}:{ts}"),
+            )
+            state.job_start_ts = ts
+        else:
+            profile = profile_by_name(job.app_name)
+            state.instance = profile.make_instance(
+                self.spec.cpus_per_node,
+                derive_seed(self.seed, f"job:{job.job_id}:{node_path}"),
+                duration_s=(job.end_ts - job.start_ts) / NS_PER_SEC,
+            )
+            state.job_start_ts = job.start_ts
+
+    # ------------------------------------------------------------------
+    # Advancement
+    # ------------------------------------------------------------------
+
+    def advance_node(self, node_path: str, ts: int) -> _NodeState:
+        """Bring one node's counters and gauges up to time ``ts``."""
+        state = self._states[node_path]
+        if state.last_ts == ts:
+            return state
+        if state.last_ts > ts:
+            raise ValueError(
+                f"node {node_path} sampled backwards: {ts} < {state.last_ts}"
+            )
+        self._sync_job(state, node_path, ts)
+        t_rel = (ts - state.job_start_ts) / NS_PER_SEC
+        if state.last_ts < 0:
+            dt_s = 0.0
+        else:
+            dt_s = (ts - state.last_ts) / NS_PER_SEC
+        # Midpoint rates approximate the integral over the interval.
+        t_mid = max(0.0, t_rel - dt_s / 2.0)
+        rates = state.instance.rates(t_mid)
+        if dt_s > 0.0:
+            state.counters[:, _COUNTER_INDEX["cpu-cycles"]] += (
+                rates.cycles_per_s * dt_s
+            )
+            state.counters[:, _COUNTER_INDEX["instructions"]] += (
+                rates.instr_per_s * dt_s
+            )
+            state.counters[:, _COUNTER_INDEX["cache-misses"]] += (
+                rates.cache_miss_per_s * dt_s
+            )
+            state.counters[:, _COUNTER_INDEX["cache-references"]] += (
+                rates.cache_ref_per_s * dt_s
+            )
+            state.counters[:, _COUNTER_INDEX["flops"]] += rates.flops_per_s * dt_s
+            state.counters[:, _COUNTER_INDEX["vector-ops"]] += (
+                rates.vector_ops_per_s * dt_s
+            )
+            state.net_xmit += rates.net_bytes_per_s * dt_s
+            state.net_rcv += rates.net_bytes_per_s * 0.96 * dt_s
+        state.mean_util = float(np.mean(rates.utilization))
+        state.mean_cpi = float(np.mean(rates.cpi))
+        activity = state.instance.activity(t_rel)
+        state.model.update(ts, activity, state.mean_util)
+        state.last_ts = ts
+        return state
+
+    # ------------------------------------------------------------------
+    # Sensor reads (used by monitoring plugins)
+    # ------------------------------------------------------------------
+
+    def read_cpu_counter(
+        self, node_path: str, cpu_index: int, counter: str, ts: int
+    ) -> float:
+        """Monotonic per-core counter value at ``ts``."""
+        state = self.advance_node(node_path, ts)
+        return float(state.counters[cpu_index, _COUNTER_INDEX[counter]])
+
+    def read_cpu_counters(
+        self, node_path: str, counter: str, ts: int
+    ) -> np.ndarray:
+        """All cores' values of one counter at ``ts`` (view, no copy)."""
+        state = self.advance_node(node_path, ts)
+        return state.counters[:, _COUNTER_INDEX[counter]]
+
+    def read_node(self, node_path: str, name: str, ts: int) -> float:
+        """Node-level gauge or counter value at ``ts``.
+
+        Gauges: ``power`` (W), ``temp`` (C), ``memfree`` (bytes),
+        ``freq`` (Hz).  Counters: ``energy`` (J), ``idle-time``
+        (core-seconds), ``xmit-bytes``, ``rcv-bytes``.
+        """
+        state = self.advance_node(node_path, ts)
+        if name == "power":
+            return state.model.power_w
+        if name == "temp":
+            return state.model.temperature_c
+        if name == "energy":
+            return state.model.energy_j
+        if name == "idle-time":
+            return state.model.idle_time_s
+        if name == "xmit-bytes":
+            return state.net_xmit
+        if name == "rcv-bytes":
+            return state.net_rcv
+        if name == "memfree":
+            # Busy nodes hold larger working sets; wobble keeps it alive.
+            used_frac = 0.1 + 0.6 * state.mean_util
+            return (1.0 - used_frac) * 96e9
+        if name == "freq":
+            return 1.3e9 * (1.0 + (0.1 if state.mean_util > 0.5 else 0.0))
+        raise KeyError(f"unknown node sensor {name!r}")
+
+    def current_job(self, node_path: str) -> Optional[str]:
+        """Job id currently bound to the node's state (after last sample)."""
+        return self._states[node_path].job_id
+
+    @property
+    def node_paths(self) -> List[str]:
+        """All node component paths."""
+        return self.topology.node_paths

@@ -1,0 +1,127 @@
+"""Per-node power, thermal and idle-time model.
+
+Produces the node-level signals the paper's case studies consume: whole
+node power at the power supply (Fig 6), inlet/node temperature and the
+cumulative CPU idle time counter (Fig 8).  Three effects matter for the
+reproduction and are modelled explicitly:
+
+- **Manufacturing variability**: each node draws a frozen efficiency
+  factor, so identical workloads yield slightly different power — the
+  spread Fig 8's clusters rely on.
+- **Unpredictable short spikes**: turbo bursts and electrical/sensor
+  noise make power prediction imperfect at the top of the distribution,
+  which is exactly the error structure Fig 6b reports.
+- **Thermal inertia**: temperature follows power through a first-order
+  lag toward ``ambient + k * power``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.timeutil import NS_PER_SEC
+from repro.simulator.workload import binned_uniform, value_noise
+
+
+@dataclass(frozen=True)
+class NodePowerParams:
+    """Electrical and thermal constants of a node model.
+
+    Defaults approximate a Xeon Phi 7210-F node: ~75 W idle, up to
+    ~280 W under full vectorised load, temperatures in the high 40s to
+    mid 50s Celsius (cf. Fig 8's axes).
+    """
+
+    idle_w: float = 75.0
+    dynamic_w: float = 185.0
+    turbo_w: float = 45.0
+    turbo_probability: float = 0.06
+    noise_w: float = 2.0
+    ambient_c: float = 40.0
+    c_per_watt: float = 0.065
+    thermal_tau_s: float = 90.0
+
+
+class NodeModel:
+    """Stateful per-node electrical/thermal model.
+
+    Args:
+        node_path: component path, used only for diagnostics.
+        n_cores: core count (drives the idle-time counter scale).
+        seed: frozen randomness (efficiency factor, spike schedule).
+        params: shared electrical constants.
+        power_anomaly: multiplicative power factor for planted anomalies
+            (Fig 8 discusses a node drawing ~20 % more power than peers
+            with similar idle time; pass 1.2 to plant it).
+    """
+
+    def __init__(
+        self,
+        node_path: str,
+        n_cores: int,
+        seed: int,
+        params: NodePowerParams = NodePowerParams(),
+        power_anomaly: float = 1.0,
+    ) -> None:
+        self.node_path = node_path
+        self.n_cores = int(n_cores)
+        self.seed = int(seed)
+        self.params = params
+        self.power_anomaly = float(power_anomaly)
+        rng = np.random.default_rng(seed)
+        #: Frozen manufacturing-variability factor, ~N(1, 0.03).
+        self.efficiency = float(np.clip(rng.normal(1.0, 0.03), 0.9, 1.1))
+        #: Facility coupling: offset on the ambient (inlet) temperature,
+        #: set by the cooling model when one is attached.
+        self.ambient_offset_c = 0.0
+        # Mutable state, advanced by update():
+        self.temperature_c = params.ambient_c + 5.0
+        self.energy_j = 0.0
+        self.idle_time_s = 0.0
+        self.power_w = params.idle_w * self.efficiency
+        self._last_ts: int = -1
+
+    # ------------------------------------------------------------------
+
+    def instantaneous_power(self, t_s: float, activity: float) -> float:
+        """Power draw at time ``t_s`` given scalar workload activity.
+
+        ``activity`` is in [0, 1] (see ``AppInstance.activity``).  Adds
+        turbo bursts and measurement noise on top of the deterministic
+        idle + dynamic model.
+        """
+        p = self.params
+        base = (p.idle_w + p.dynamic_w * activity) * self.efficiency
+        # Turbo bursts: held for 1 s bins, only meaningful under load.
+        roll = binned_uniform(self.seed, t_s, 1.0, 1, stream=11)[0]
+        if activity > 0.3 and roll < p.turbo_probability:
+            mag = binned_uniform(self.seed, t_s, 1.0, 1, stream=12)[0]
+            base += p.turbo_w * (0.4 + 0.6 * mag)
+        noise = p.noise_w * value_noise(self.seed, t_s, 0.5, 1, stream=13)[0]
+        return max(0.0, (base + noise) * self.power_anomaly)
+
+    def update(self, ts_ns: int, activity: float, mean_util: float) -> None:
+        """Advance state to ``ts_ns``.
+
+        Integrates energy and idle time over the elapsed interval and
+        relaxes temperature toward its power-driven target.  Must be
+        called with non-decreasing timestamps.
+        """
+        t_s = ts_ns / NS_PER_SEC
+        self.power_w = self.instantaneous_power(t_s, activity)
+        ambient = self.params.ambient_c + self.ambient_offset_c
+        if self._last_ts < 0:
+            self._last_ts = ts_ns
+            self.temperature_c = ambient + self.params.c_per_watt * self.power_w
+            return
+        dt_s = (ts_ns - self._last_ts) / NS_PER_SEC
+        if dt_s < 0:
+            raise ValueError(f"node model time moved backwards on {self.node_path}")
+        self._last_ts = ts_ns
+        self.energy_j += self.power_w * dt_s
+        self.idle_time_s += (1.0 - min(1.0, mean_util)) * self.n_cores * dt_s
+        target = ambient + self.params.c_per_watt * self.power_w
+        alpha = 1.0 - np.exp(-dt_s / self.params.thermal_tau_s)
+        self.temperature_c += alpha * (target - self.temperature_c)

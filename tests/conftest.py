@@ -1,0 +1,62 @@
+"""Shared fixtures: a Figure-2-style sensor tree, a small simulated
+cluster, and a fully wired Pusher/CollectAgent pair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.tree import SensorTree
+from repro.dcdb import Broker, CollectAgent, Pusher
+from repro.dcdb.plugins import PerfeventPlugin, ProcfsPlugin, SysfsPlugin
+from repro.simulator import ClusterSimulator, ClusterSpec
+from repro.simulator.clock import TaskScheduler
+
+
+def make_fig2_topics():
+    """Sensor topics reproducing the tree of the paper's Figure 2."""
+    topics = ["/db-uptime", "/time-to-live"]
+    for r in ["r01", "r02", "r03", "r04"]:
+        for c in ["c01", "c02", "c03"]:
+            topics.append(f"/{r}/{c}/power")
+            topics.append(f"/{r}/{c}/inlet-temp")
+            for s in ["s01", "s02", "s03", "s04"]:
+                topics.append(f"/{r}/{c}/{s}/memfree")
+                for cpu in ["cpu0", "cpu1"]:
+                    topics.append(f"/{r}/{c}/{s}/{cpu}/cache-misses")
+                    topics.append(f"/{r}/{c}/{s}/{cpu}/cpu-cycles")
+    return topics
+
+
+@pytest.fixture
+def fig2_tree() -> SensorTree:
+    return SensorTree.from_topics(make_fig2_topics())
+
+
+@pytest.fixture
+def small_sim() -> ClusterSimulator:
+    return ClusterSimulator(ClusterSpec.small(nodes=4, cpus=4), seed=42)
+
+
+@pytest.fixture
+def wired_host(small_sim):
+    """A pusher on node 0 with all monitoring plugins, plus a collect
+    agent, sharing one scheduler and broker.  Yields a namespace."""
+
+    class NS:
+        pass
+
+    ns = NS()
+    ns.sim = small_sim
+    ns.scheduler = TaskScheduler()
+    ns.broker = Broker()
+    ns.node = small_sim.node_paths[0]
+    ns.pusher = Pusher(ns.node, ns.broker, ns.scheduler)
+    ns.pusher.add_plugin(SysfsPlugin(small_sim, ns.node))
+    ns.pusher.add_plugin(ProcfsPlugin(small_sim, ns.node))
+    ns.pusher.add_plugin(PerfeventPlugin(small_sim, ns.node))
+    ns.agent = CollectAgent("agent", ns.broker, ns.scheduler)
+    ns.run = lambda seconds: ns.scheduler.run_until(
+        ns.scheduler.clock.now + int(seconds * NS_PER_SEC)
+    )
+    return ns

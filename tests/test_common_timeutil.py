@@ -1,0 +1,59 @@
+"""Tests for nanosecond time arithmetic."""
+
+import pytest
+
+from repro.common.timeutil import (
+    NS_PER_MS,
+    NS_PER_SEC,
+    Interval,
+    from_millis,
+    from_seconds,
+    to_millis,
+    to_seconds,
+)
+
+
+class TestConversions:
+    def test_from_seconds(self):
+        assert from_seconds(1.5) == 1_500_000_000
+
+    def test_from_millis(self):
+        assert from_millis(250) == 250 * NS_PER_MS
+
+    def test_roundtrip(self):
+        assert to_seconds(from_seconds(3.25)) == pytest.approx(3.25)
+        assert to_millis(from_millis(12.5)) == pytest.approx(12.5)
+
+    def test_rounding(self):
+        # Sub-nanosecond fractions round rather than truncate.
+        assert from_seconds(1e-9 * 0.6) == 1
+
+
+class TestInterval:
+    def test_span(self):
+        assert Interval(10, 25).span == 15
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_empty_allowed(self):
+        assert Interval(5, 5).span == 0
+
+    def test_contains_half_open(self):
+        iv = Interval(10, 20)
+        assert iv.contains(10)
+        assert iv.contains(19)
+        assert not iv.contains(20)
+        assert not iv.contains(9)
+
+    def test_overlaps(self):
+        assert Interval(0, 10).overlaps(Interval(5, 15))
+        assert not Interval(0, 10).overlaps(Interval(10, 20))
+        assert Interval(0, 100).overlaps(Interval(40, 50))
+
+    def test_clamp(self):
+        iv = Interval(10, 20)
+        assert iv.clamp(5) == 10
+        assert iv.clamp(25) == 20
+        assert iv.clamp(15) == 15

@@ -1,0 +1,123 @@
+"""Tests for MQTT-style topic handling."""
+
+import pytest
+
+from repro.common.errors import TopicError
+from repro.common.topics import (
+    component_path,
+    is_ancestor,
+    join_topic,
+    normalize_topic,
+    sensor_name,
+    split_topic,
+    topic_depth,
+    topic_matches,
+)
+
+
+class TestSplitJoin:
+    def test_split_basic(self):
+        assert split_topic("/rack4/chassis2/server3/power") == [
+            "rack4",
+            "chassis2",
+            "server3",
+            "power",
+        ]
+
+    def test_split_tolerates_missing_leading_slash(self):
+        assert split_topic("a/b") == ["a", "b"]
+
+    def test_split_tolerates_trailing_slash(self):
+        assert split_topic("/a/b/") == ["a", "b"]
+
+    def test_split_rejects_empty(self):
+        with pytest.raises(TopicError):
+            split_topic("")
+
+    def test_split_rejects_double_slash(self):
+        with pytest.raises(TopicError):
+            split_topic("/a//b")
+
+    def test_join_roundtrip(self):
+        assert join_topic(["a", "b", "c"]) == "/a/b/c"
+        assert split_topic(join_topic(["a", "b"])) == ["a", "b"]
+
+    def test_join_rejects_slash_in_segment(self):
+        with pytest.raises(TopicError):
+            join_topic(["a/b"])
+
+    def test_join_rejects_empty_segment(self):
+        with pytest.raises(TopicError):
+            join_topic(["a", ""])
+
+    def test_normalize(self):
+        assert normalize_topic("a/b/") == "/a/b"
+        assert normalize_topic("/a/b") == "/a/b"
+
+
+class TestAccessors:
+    def test_depth(self):
+        assert topic_depth("/a/b/c") == 3
+
+    def test_sensor_name(self):
+        assert sensor_name("/r1/c1/s1/power") == "power"
+
+    def test_component_path(self):
+        assert component_path("/r1/c1/s1/power") == "/r1/c1/s1"
+
+    def test_component_path_of_top_sensor_is_root(self):
+        assert component_path("/db-uptime") == "/"
+
+
+class TestAncestry:
+    def test_direct_parent(self):
+        assert is_ancestor("/a", "/a/b")
+
+    def test_deep_ancestor(self):
+        assert is_ancestor("/a", "/a/b/c/d")
+
+    def test_not_self(self):
+        assert not is_ancestor("/a/b", "/a/b")
+
+    def test_not_sibling(self):
+        assert not is_ancestor("/a/b", "/a/c")
+
+    def test_prefix_string_is_not_path_prefix(self):
+        # /r1 is not an ancestor of /r10/...
+        assert not is_ancestor("/r1", "/r10/power")
+
+    def test_root_is_ancestor_of_everything(self):
+        assert is_ancestor("/", "/a")
+        assert not is_ancestor("/", "/")
+
+
+class TestWildcards:
+    def test_exact_match(self):
+        assert topic_matches("/a/b/c", "/a/b/c")
+
+    def test_exact_mismatch(self):
+        assert not topic_matches("/a/b/c", "/a/b/d")
+
+    def test_plus_matches_one_level(self):
+        assert topic_matches("/a/+/c", "/a/b/c")
+        assert not topic_matches("/a/+/c", "/a/b/x/c")
+
+    def test_plus_does_not_match_missing_level(self):
+        assert not topic_matches("/a/+", "/a")
+
+    def test_hash_matches_any_suffix(self):
+        assert topic_matches("/a/#", "/a/b")
+        assert topic_matches("/a/#", "/a/b/c/d")
+
+    def test_hash_alone_matches_all(self):
+        assert topic_matches("/#", "/x/y/z")
+
+    def test_hash_must_be_last(self):
+        with pytest.raises(TopicError):
+            topic_matches("/a/#/b", "/a/x/b")
+
+    def test_shorter_topic_does_not_match(self):
+        assert not topic_matches("/a/b/c", "/a/b")
+
+    def test_longer_topic_does_not_match(self):
+        assert not topic_matches("/a/b", "/a/b/c")

@@ -1,0 +1,171 @@
+"""Tests for the Configurator and plugin registry."""
+
+import pytest
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.timeutil import NS_PER_MS, NS_PER_SEC
+from repro.core.configurator import Configurator, parse_operator_config
+from repro.core.operator import OperatorBase, OperatorConfig
+from repro.core.registry import (
+    available_plugins,
+    create_operator,
+    operator_plugin,
+    register_operator_plugin,
+)
+
+
+class TestParseOperatorConfig:
+    def test_time_spellings(self):
+        cfg = parse_operator_config(
+            "x", {"interval_ms": 250, "window_s": 2, "delay_ns": 7}
+        )
+        assert cfg.interval_ns == 250 * NS_PER_MS
+        assert cfg.window_ns == 2 * NS_PER_SEC
+        assert cfg.delay_ns == 7
+
+    def test_defaults(self):
+        cfg = parse_operator_config("x", {})
+        assert cfg.interval_ns == NS_PER_SEC
+        assert cfg.window_ns == 0
+
+    def test_conflicting_time_spellings(self):
+        with pytest.raises(ConfigError):
+            parse_operator_config("x", {"interval_ms": 1, "interval_s": 1})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_operator_config("x", {"intervall_ms": 5})
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_operator_config("x", {"interval_ms": -1})
+
+    def test_lists_validated(self):
+        with pytest.raises(ConfigError):
+            parse_operator_config("x", {"inputs": "not-a-list"})
+        with pytest.raises(ConfigError):
+            parse_operator_config("x", {"inputs": [1, 2]})
+
+    def test_bools_validated(self):
+        with pytest.raises(ConfigError):
+            parse_operator_config("x", {"relaxed": "yes"})
+
+    def test_params_must_be_dict(self):
+        with pytest.raises(ConfigError):
+            parse_operator_config("x", {"params": [1]})
+
+    def test_full_block(self):
+        cfg = parse_operator_config(
+            "avg",
+            {
+                "interval_s": 1,
+                "mode": "ondemand",
+                "unit_mode": "parallel",
+                "max_workers": 4,
+                "relaxed": True,
+                "publish_outputs": False,
+                "inputs": ["<bottomup>power"],
+                "outputs": ["<bottomup>avg"],
+                "operator_outputs": ["overall"],
+                "params": {"op": "mean"},
+            },
+        )
+        assert cfg.mode == "ondemand"
+        assert cfg.max_workers == 4
+        assert cfg.operator_outputs == ["overall"]
+
+
+class TestConfigurator:
+    def test_requires_plugin_name(self):
+        with pytest.raises(ConfigError):
+            Configurator({"operators": {"x": {}}})
+
+    def test_requires_operators(self):
+        with pytest.raises(ConfigError):
+            Configurator({"plugin": "aggregator"})
+        with pytest.raises(ConfigError):
+            Configurator({"plugin": "aggregator", "operators": {}})
+
+    def test_builds_all_declared_operators(self):
+        config = {
+            "plugin": "aggregator",
+            "operators": {
+                "a": {
+                    "inputs": ["<bottomup>x"],
+                    "outputs": ["<bottomup>ax"],
+                    "params": {"op": "mean"},
+                },
+                "b": {
+                    "inputs": ["<bottomup>x"],
+                    "outputs": ["<bottomup>bx"],
+                    "params": {"op": "max"},
+                },
+            },
+        }
+        ops = Configurator(config).build()
+        assert sorted(op.name for op in ops) == ["a", "b"]
+
+
+class TestRegistry:
+    def test_bundled_plugins_available(self):
+        names = available_plugins()
+        for expected in (
+            "tester",
+            "aggregator",
+            "smoother",
+            "perfmetrics",
+            "persyst",
+            "regressor",
+            "classifier",
+            "clustering",
+            "health",
+        ):
+            assert expected in names
+
+    def test_unknown_plugin(self):
+        with pytest.raises(PluginError):
+            create_operator("not-a-plugin", OperatorConfig(name="x"), {})
+
+    def test_register_rejects_non_operator(self):
+        with pytest.raises(PluginError):
+            register_operator_plugin("bad", dict)
+
+    def test_context_injection(self):
+        @operator_plugin("ctx-test")
+        class CtxOp(OperatorBase):
+            def __init__(self, config, job_source):
+                super().__init__(config)
+                self.job_source = job_source
+
+            def compute_unit(self, unit, ts):
+                return {}
+
+        op = create_operator(
+            "ctx-test", OperatorConfig(name="x"), {"job_source": "JS"}
+        )
+        assert op.job_source == "JS"
+
+    def test_missing_required_context(self):
+        @operator_plugin("ctx-test2")
+        class CtxOp2(OperatorBase):
+            def __init__(self, config, job_source):
+                super().__init__(config)
+
+            def compute_unit(self, unit, ts):
+                return {}
+
+        with pytest.raises(PluginError):
+            create_operator("ctx-test2", OperatorConfig(name="x"), {})
+
+    def test_optional_context_defaults(self):
+        @operator_plugin("ctx-test3")
+        class CtxOp3(OperatorBase):
+            def __init__(self, config, job_source=None):
+                super().__init__(config)
+                self.job_source = job_source
+
+            def compute_unit(self, unit, ts):
+                return {}
+
+        op = create_operator("ctx-test3", OperatorConfig(name="x"), {})
+        assert op.job_source is None

@@ -1,0 +1,251 @@
+"""Tests for the Operator Manager (lifecycle, scheduling, REST)."""
+
+import pytest
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.manager import OperatorManager
+from repro.dcdb import Broker, Pusher
+from repro.dcdb.plugins import TesterMonitoringPlugin
+from repro.simulator.clock import TaskScheduler
+
+
+AGG_CONFIG = {
+    "plugin": "aggregator",
+    "operators": {
+        "avg": {
+            "interval_s": 1,
+            "window_s": 5,
+            "inputs": ["<bottomup>tester0000"],
+            "outputs": ["<bottomup>avg0"],
+            "params": {"op": "mean"},
+        }
+    },
+}
+
+
+@pytest.fixture
+def rig():
+    class NS:
+        pass
+
+    ns = NS()
+    ns.scheduler = TaskScheduler()
+    ns.broker = Broker()
+    ns.pusher = Pusher("/r0/c0/n0", ns.broker, ns.scheduler)
+    ns.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=3))
+    ns.manager = OperatorManager()
+    ns.pusher.attach_analytics(ns.manager)
+    return ns
+
+
+class TestLifecycle:
+    def test_requires_host(self):
+        with pytest.raises(PluginError):
+            OperatorManager().load_plugin(AGG_CONFIG)
+
+    def test_load_and_run(self, rig):
+        rig.manager.load_plugin(AGG_CONFIG)
+        rig.scheduler.run_until(5 * NS_PER_SEC)
+        out = rig.pusher.cache_for("/r0/c0/n0/avg0")
+        assert out is not None and len(out) > 0
+
+    def test_duplicate_operator_name_rejected(self, rig):
+        rig.manager.load_plugin(AGG_CONFIG)
+        with pytest.raises(ConfigError):
+            rig.manager.load_plugin(AGG_CONFIG)
+
+    def test_stop_start(self, rig):
+        rig.manager.load_plugin(AGG_CONFIG)
+        rig.scheduler.run_until(2 * NS_PER_SEC)
+        rig.manager.stop_operator("avg")
+        n_before = len(rig.pusher.cache_for("/r0/c0/n0/avg0"))
+        rig.scheduler.run_until(5 * NS_PER_SEC)
+        assert len(rig.pusher.cache_for("/r0/c0/n0/avg0")) == n_before
+        rig.manager.start_operator("avg")
+        rig.scheduler.run_until(8 * NS_PER_SEC)
+        assert len(rig.pusher.cache_for("/r0/c0/n0/avg0")) > n_before
+
+    def test_load_without_start(self, rig):
+        rig.manager.load_plugin(AGG_CONFIG, start=False)
+        rig.scheduler.run_until(3 * NS_PER_SEC)
+        assert len(rig.pusher.cache_for("/r0/c0/n0/avg0") or []) == 0
+
+    def test_unload(self, rig):
+        rig.manager.load_plugin(AGG_CONFIG)
+        rig.manager.unload_operator("avg")
+        with pytest.raises(PluginError):
+            rig.manager.operator("avg")
+        rig.scheduler.run_until(3 * NS_PER_SEC)
+        assert len(rig.pusher.cache_for("/r0/c0/n0/avg0") or []) == 0
+
+    def test_unload_unknown(self, rig):
+        with pytest.raises(PluginError):
+            rig.manager.unload_operator("nope")
+
+    def test_delay_defers_first_compute(self, rig):
+        config = {
+            "plugin": "aggregator",
+            "operators": {
+                "late": {
+                    "interval_s": 1,
+                    "window_s": 5,
+                    "delay_s": 3,
+                    "inputs": ["<bottomup>tester0000"],
+                    "outputs": ["<bottomup>late0"],
+                    "params": {"op": "mean"},
+                }
+            },
+        }
+        rig.manager.load_plugin(config)
+        rig.scheduler.run_until(2 * NS_PER_SEC)
+        assert len(rig.pusher.cache_for("/r0/c0/n0/late0") or []) == 0
+        rig.scheduler.run_until(5 * NS_PER_SEC)
+        assert len(rig.pusher.cache_for("/r0/c0/n0/late0")) > 0
+
+    def test_busy_time_accounted(self, rig):
+        rig.manager.load_plugin(AGG_CONFIG)
+        rig.scheduler.run_until(3 * NS_PER_SEC)
+        assert rig.manager.analytics_busy_ns > 0
+
+
+class TestOnDemand:
+    CONFIG = {
+        "plugin": "aggregator",
+        "operators": {
+            "odm": {
+                "mode": "ondemand",
+                "window_s": 5,
+                "inputs": ["<bottomup>tester0000"],
+                "outputs": ["<bottomup>odm0"],
+                "params": {"op": "max"},
+            }
+        },
+    }
+
+    def test_trigger_via_manager(self, rig):
+        rig.manager.load_plugin(self.CONFIG)
+        rig.scheduler.run_until(3 * NS_PER_SEC)
+        values = rig.manager.trigger("odm", "/r0/c0/n0")
+        assert values == {"odm0": 4.0}  # counter reached 4 by t=3s
+
+    def test_ondemand_never_scheduled(self, rig):
+        rig.manager.load_plugin(self.CONFIG)
+        rig.scheduler.run_until(3 * NS_PER_SEC)
+        assert len(rig.pusher.cache_for("/r0/c0/n0/odm0") or []) == 0
+
+
+class TestRest:
+    def test_operator_listing(self, rig):
+        rig.manager.load_plugin(AGG_CONFIG)
+        body = rig.pusher.rest.get("/analytics/operators").body
+        assert body["operators"][0]["name"] == "avg"
+
+    def test_plugin_listing(self, rig):
+        rig.manager.load_plugin(AGG_CONFIG)
+        body = rig.pusher.rest.get("/analytics/plugins").body
+        assert body == {"plugins": ["aggregator"]}
+
+    def test_stop_via_rest(self, rig):
+        rig.manager.load_plugin(AGG_CONFIG)
+        assert rig.pusher.rest.put("/analytics/operators/avg/stop").ok
+        assert not rig.manager.operator("avg").enabled
+
+    def test_compute_via_rest(self, rig):
+        rig.manager.load_plugin(self_config := dict(TestOnDemand.CONFIG))
+        rig.scheduler.run_until(2 * NS_PER_SEC)
+        resp = rig.pusher.rest.put(
+            "/analytics/operators/odm/compute", unit="/r0/c0/n0"
+        )
+        assert resp.ok
+        assert resp.body["values"] == {"odm0": 3.0}
+
+    def test_compute_missing_unit_param(self, rig):
+        rig.manager.load_plugin(TestOnDemand.CONFIG)
+        resp = rig.pusher.rest.put("/analytics/operators/odm/compute")
+        assert resp.status == 400
+
+    def test_unknown_operator_404(self, rig):
+        assert rig.pusher.rest.put("/analytics/operators/zzz/stop").status == 404
+
+    def test_bad_action_400(self, rig):
+        rig.manager.load_plugin(AGG_CONFIG)
+        assert rig.pusher.rest.put("/analytics/operators/avg/zap").status == 400
+
+    def test_malformed_path_400(self, rig):
+        assert rig.pusher.rest.put("/analytics/operators/avg").status == 400
+
+    def test_unload_via_rest(self, rig):
+        rig.manager.load_plugin(AGG_CONFIG)
+        assert rig.pusher.rest.put("/analytics/operators/avg/unload").ok
+        assert rig.manager.operators() == []
+
+
+class TestSensorSpaceRefresh:
+    def test_second_plugin_sees_first_plugins_outputs(self, rig):
+        rig.manager.load_plugin(AGG_CONFIG)
+        rig.scheduler.run_until(2 * NS_PER_SEC)
+        downstream = {
+            "plugin": "smoother",
+            "operators": {
+                "smooth": {
+                    "interval_s": 1,
+                    "window_s": 3,
+                    "inputs": ["<bottomup>avg0"],
+                    "outputs": ["<bottomup>avg0-smooth"],
+                }
+            },
+        }
+        rig.manager.load_plugin(downstream)
+        rig.scheduler.run_until(6 * NS_PER_SEC)
+        out = rig.pusher.cache_for("/r0/c0/n0/avg0-smooth")
+        assert out is not None and len(out) > 0
+
+
+class TestJobOperatorOnDemand:
+    """On-demand triggering of a job operator (scheduling-style use)."""
+
+    def test_trigger_job_unit_via_rest(self):
+        from repro.dcdb import CollectAgent
+        from repro.simulator import ClusterSimulator, ClusterSpec
+        from repro.simulator.scheduler import Job
+
+        sim = ClusterSimulator(ClusterSpec.small(nodes=2, cpus=2), seed=6)
+        scheduler = TaskScheduler()
+        broker = Broker()
+        pushers = []
+        for node in sim.node_paths:
+            from repro.dcdb.plugins import SysfsPlugin
+
+            pusher = Pusher(node, broker, scheduler)
+            pusher.add_plugin(SysfsPlugin(sim, node))
+            pushers.append(pusher)
+        agent = CollectAgent("agent", broker, scheduler)
+        manager = OperatorManager(context={"job_source": sim.scheduler})
+        agent.attach_analytics(manager)
+        sim.scheduler.add_job(
+            Job("j1", "hpl", tuple(sim.node_paths), NS_PER_SEC,
+                100 * NS_PER_SEC)
+        )
+        scheduler.run_until(10 * NS_PER_SEC)
+        manager.load_plugin(
+            {
+                "plugin": "persyst",
+                "operators": {
+                    "odj": {
+                        "mode": "ondemand",
+                        "window_s": 5,
+                        "inputs": ["power"],
+                        "params": {"quantiles": [0.5]},
+                    }
+                },
+            }
+        )
+        resp = agent.rest.put(
+            "/analytics/operators/odj/compute", unit="/jobs/j1"
+        )
+        assert resp.ok, resp.body
+        assert resp.body["values"]["decile5"] > 0
+        # No stream output was stored.
+        agent.flush()
+        assert agent.storage.count("/jobs/j1/decile5") == 0

@@ -1,0 +1,86 @@
+"""Tests for the Sensor Navigator."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.core.navigator import SensorNavigator
+
+
+@pytest.fixture
+def nav(fig2_tree):
+    return SensorNavigator(fig2_tree)
+
+
+class TestNavigation:
+    def test_sensors_of_component(self, nav):
+        assert nav.sensors_of("/r01/c01") == [
+            "/r01/c01/inlet-temp",
+            "/r01/c01/power",
+        ]
+
+    def test_subtree_sensors(self, nav):
+        sensors = nav.subtree_sensors("/r01/c01/s01")
+        assert len(sensors) == 5  # memfree + 2 cpus * 2 counters
+
+    def test_children(self, nav):
+        assert nav.children("/r01") == ["/r01/c01", "/r01/c02", "/r01/c03"]
+
+    def test_parent(self, nav):
+        assert nav.parent("/r01/c01") == "/r01"
+        assert nav.parent("/r01") is None
+
+    def test_level_of(self, nav):
+        assert nav.level_of("/r01/c01/s01") == 2
+
+    def test_components_at_level(self, nav):
+        assert len(nav.components_at_level(0)) == 4
+
+    def test_depth(self, nav):
+        assert nav.depth == 3
+
+    def test_has_sensor(self, nav):
+        assert nav.has_sensor("/r01/c01/power")
+        assert not nav.has_sensor("/r01/c01/zzz")
+
+    def test_unknown_component_raises(self, nav):
+        with pytest.raises(QueryError):
+            nav.sensors_of("/nope")
+
+
+class TestSearch:
+    def test_regex_search(self, nav):
+        hits = nav.search_sensors(r"r02/.*power$")
+        assert len(hits) == 3  # 3 chassis in r02
+
+    def test_bad_regex_raises(self, nav):
+        with pytest.raises(QueryError):
+            nav.search_sensors("[")
+
+
+class TestCommonAncestor:
+    def test_same_chassis(self, nav):
+        assert (
+            nav.common_ancestor("/r01/c01/s01", "/r01/c01/s02") == "/r01/c01"
+        )
+
+    def test_cross_rack_is_root(self, nav):
+        assert nav.common_ancestor("/r01/c01", "/r02/c01") == "/"
+
+    def test_ancestor_of_itself(self, nav):
+        assert nav.common_ancestor("/r01/c01", "/r01/c01") == "/r01/c01"
+
+    def test_direct_line(self, nav):
+        assert (
+            nav.common_ancestor("/r01/c01", "/r01/c01/s01/cpu0") == "/r01/c01"
+        )
+
+
+class TestRebuild:
+    def test_rebuild_replaces_tree(self, nav):
+        nav.rebuild(["/x/y/new-sensor"])
+        assert nav.has_sensor("/x/y/new-sensor")
+        assert not nav.has_sensor("/r01/c01/power")
+
+    def test_from_topics(self):
+        nav = SensorNavigator.from_topics(["/a/b/c"])
+        assert nav.has_sensor("/a/b/c")

@@ -1,0 +1,103 @@
+"""Tests for pattern expressions (Sections III-B/III-C)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.pattern import PatternExpression, parse_expressions
+
+
+class TestParsing:
+    def test_paper_examples(self):
+        e = PatternExpression.parse("<topdown+1>power")
+        assert (e.anchor, e.offset, e.sensor, e.filter) == (
+            "topdown", 1, "power", None,
+        )
+        e = PatternExpression.parse("<bottomup, filter cpu>cpu-cycles")
+        assert (e.anchor, e.offset, e.sensor, e.filter) == (
+            "bottomup", 0, "cpu-cycles", "cpu",
+        )
+        e = PatternExpression.parse("<bottomup-1>healthy")
+        assert (e.anchor, e.offset) == ("bottomup", 1)
+
+    def test_bare_sensor_name(self):
+        e = PatternExpression.parse("power")
+        assert e.anchor == "unit"
+        assert e.sensor == "power"
+
+    def test_whitespace_tolerated(self):
+        e = PatternExpression.parse("< topdown + 2 , filter cpu[01] >x")
+        assert e.offset == 2
+        assert e.filter == "cpu[01]"
+
+    def test_roundtrip_str(self):
+        for text in (
+            "<topdown+1>power",
+            "<bottomup, filter cpu>cpu-cycles",
+            "<bottomup-1>healthy",
+            "power",
+            "<topdown>x",
+        ):
+            assert str(PatternExpression.parse(text)) == text
+
+    def test_rejects_wrong_direction(self):
+        with pytest.raises(ConfigError):
+            PatternExpression.parse("<topdown-1>x")
+        with pytest.raises(ConfigError):
+            PatternExpression.parse("<bottomup+1>x")
+
+    def test_rejects_garbage(self):
+        for bad in ("<sideways>x", "<topdown+>x", "<topdown", "", "<>x"):
+            with pytest.raises(ConfigError):
+                PatternExpression.parse(bad)
+
+    def test_rejects_path_as_bare_name(self):
+        with pytest.raises(ConfigError):
+            PatternExpression.parse("/a/b/power")
+
+    def test_rejects_bad_regex(self):
+        with pytest.raises(ConfigError):
+            PatternExpression.parse("<bottomup, filter [>x")
+
+    def test_parse_expressions_helper(self):
+        exprs = parse_expressions(["power", "<topdown>x"])
+        assert len(exprs) == 2
+
+    def test_zero_offset_explicit(self):
+        assert PatternExpression.parse("<topdown+0>x").offset == 0
+
+
+class TestDomains:
+    def test_topdown_domain_is_racks(self, fig2_tree):
+        e = PatternExpression.parse("<topdown>any")
+        assert {n.name for n in e.domain(fig2_tree)} == {
+            "r01", "r02", "r03", "r04",
+        }
+
+    def test_bottomup_domain_is_cpus(self, fig2_tree):
+        e = PatternExpression.parse("<bottomup>any")
+        assert len(e.domain(fig2_tree)) == 96
+
+    def test_filter_restricts_domain(self, fig2_tree):
+        e = PatternExpression.parse("<bottomup, filter cpu0>x")
+        dom = e.domain(fig2_tree)
+        assert len(dom) == 48
+        assert all(n.name == "cpu0" for n in dom)
+
+    def test_filter_is_regex(self, fig2_tree):
+        e = PatternExpression.parse("<topdown, filter r0[12]>x")
+        assert {n.name for n in e.domain(fig2_tree)} == {"r01", "r02"}
+
+    def test_filter_on_full_path(self, fig2_tree):
+        e = PatternExpression.parse("<bottomup-1, filter r01/c01/.*>x")
+        assert len(e.domain(fig2_tree)) == 4
+
+    def test_unit_anchor_needs_unit_node(self, fig2_tree):
+        e = PatternExpression.parse("power")
+        with pytest.raises(ConfigError):
+            e.domain(fig2_tree)
+        node = fig2_tree.node("/r01/c01")
+        assert e.domain(fig2_tree, node) == [node]
+
+    def test_empty_domain(self, fig2_tree):
+        e = PatternExpression.parse("<topdown, filter zzz>x")
+        assert e.domain(fig2_tree) == []

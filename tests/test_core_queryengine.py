@@ -1,0 +1,168 @@
+"""Tests for the Query Engine (Section V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.queryengine import QueryEngine
+from repro.dcdb.cache import SensorCache
+from repro.dcdb.storage import StorageBackend
+
+
+class FakeHost:
+    """Minimal host: caches dict + optional storage backend."""
+
+    def __init__(self, storage=None):
+        self.caches = {}
+        self._storage = storage
+
+    def cache_for(self, topic):
+        return self.caches.get(topic)
+
+    @property
+    def storage(self):
+        return self._storage
+
+    def sensor_topics(self):
+        topics = set(self.caches)
+        if self._storage is not None:
+            topics.update(self._storage.topics())
+        return sorted(topics)
+
+
+def filled_cache(n=10, interval=NS_PER_SEC):
+    c = SensorCache(64, interval_ns=interval)
+    for i in range(n):
+        c.store(i * interval, float(i))
+    return c
+
+
+class TestRelativeQueries:
+    def test_cache_hit(self):
+        host = FakeHost()
+        host.caches["/a"] = filled_cache()
+        qe = QueryEngine(host)
+        view = qe.query_relative("/a", 3 * NS_PER_SEC)
+        assert list(view.values()) == [6.0, 7.0, 8.0, 9.0]
+        assert qe.cache_hits == 1
+
+    def test_zero_offset_latest_only(self):
+        host = FakeHost()
+        host.caches["/a"] = filled_cache()
+        qe = QueryEngine(host)
+        assert len(qe.latest("/a")) == 1
+
+    def test_storage_fallback_when_no_cache(self):
+        storage = StorageBackend()
+        for i in range(5):
+            storage.insert("/a", i * NS_PER_SEC, float(i))
+        qe = QueryEngine(FakeHost(storage))
+        view = qe.query_relative("/a", 2 * NS_PER_SEC)
+        assert list(view.values()) == [2.0, 3.0, 4.0]
+        assert qe.storage_fallbacks == 1
+
+    def test_miss_raises(self):
+        qe = QueryEngine(FakeHost())
+        with pytest.raises(QueryError):
+            qe.query_relative("/nope", 0)
+        assert qe.misses == 1
+
+    def test_query_many(self):
+        host = FakeHost()
+        host.caches["/a"] = filled_cache()
+        host.caches["/b"] = filled_cache()
+        qe = QueryEngine(host)
+        views = qe.query_many_relative(["/a", "/b"], 0)
+        assert len(views) == 2
+
+
+class TestAbsoluteQueries:
+    def test_cache_serves_covered_range(self):
+        host = FakeHost()
+        host.caches["/a"] = filled_cache()
+        qe = QueryEngine(host)
+        view = qe.query_absolute("/a", NS_PER_SEC, 3 * NS_PER_SEC)
+        assert list(view.values()) == [1.0, 2.0, 3.0]
+        assert qe.cache_hits == 1
+        assert qe.storage_fallbacks == 0
+
+    def test_storage_serves_uncovered_range(self):
+        storage = StorageBackend()
+        for i in range(100):
+            storage.insert("/a", i * NS_PER_SEC, float(i))
+        host = FakeHost(storage)
+        # Cache only holds the newest 5 readings.
+        cache = SensorCache(5, interval_ns=NS_PER_SEC)
+        for i in range(95, 100):
+            cache.store(i * NS_PER_SEC, float(i))
+        host.caches["/a"] = cache
+        qe = QueryEngine(host)
+        view = qe.query_absolute("/a", 0, 10 * NS_PER_SEC)
+        assert len(view) == 11
+        assert qe.storage_fallbacks == 1
+
+    def test_pusher_partial_cache_still_answers(self):
+        # No storage: engine returns whatever the cache window covers.
+        host = FakeHost()
+        cache = SensorCache(5, interval_ns=NS_PER_SEC)
+        for i in range(95, 100):
+            cache.store(i * NS_PER_SEC, float(i))
+        host.caches["/a"] = cache
+        qe = QueryEngine(host)
+        view = qe.query_absolute("/a", 0, 97 * NS_PER_SEC)
+        assert list(view.values()) == [95.0, 96.0, 97.0]
+
+    def test_inverted_range_rejected(self):
+        qe = QueryEngine(FakeHost())
+        with pytest.raises(QueryError):
+            qe.query_absolute("/a", 10, 5)
+
+    def test_unknown_topic_raises(self):
+        qe = QueryEngine(FakeHost(StorageBackend()))
+        with pytest.raises(QueryError):
+            qe.query_absolute("/nope", 0, 10)
+
+
+class TestDerivedHelpers:
+    def test_window_values_delta(self):
+        host = FakeHost()
+        host.caches["/a"] = filled_cache()
+        qe = QueryEngine(host)
+        deltas = qe.window_values("/a", 3 * NS_PER_SEC, delta=True)
+        assert list(deltas) == [1.0, 1.0, 1.0]
+
+    def test_rate(self):
+        host = FakeHost()
+        host.caches["/a"] = filled_cache()
+        qe = QueryEngine(host)
+        # values rise 1.0 per second
+        assert qe.rate("/a", 5 * NS_PER_SEC) == pytest.approx(1.0)
+
+    def test_rate_needs_two_readings(self):
+        host = FakeHost()
+        host.caches["/a"] = filled_cache(n=1)
+        qe = QueryEngine(host)
+        assert np.isnan(qe.rate("/a", NS_PER_SEC))
+
+
+class TestNavigatorIntegration:
+    def test_navigator_built_from_host_topics(self):
+        host = FakeHost()
+        host.caches["/r0/n0/power"] = filled_cache()
+        qe = QueryEngine(host)
+        assert qe.navigator.has_sensor("/r0/n0/power")
+
+    def test_refresh_picks_up_new_sensors(self):
+        host = FakeHost()
+        host.caches["/r0/n0/power"] = filled_cache()
+        qe = QueryEngine(host)
+        host.caches["/r0/n0/derived"] = filled_cache()
+        assert not qe.navigator.has_sensor("/r0/n0/derived")
+        qe.refresh_navigator()
+        assert qe.navigator.has_sensor("/r0/n0/derived")
+
+    def test_topics_lists_host_view(self):
+        host = FakeHost()
+        host.caches["/a"] = filled_cache()
+        assert QueryEngine(host).topics() == ["/a"]

@@ -1,0 +1,129 @@
+"""Tests for the sensor tree (Section III-A)."""
+
+import pytest
+
+from repro.common.errors import TopicError
+from repro.core.tree import SensorTree
+
+
+class TestConstruction:
+    def test_from_topics(self, fig2_tree):
+        assert fig2_tree.max_level == 3
+        # 2 root sensors + 12 chassis * 2 + 48 servers * 1 + 96 cpus * 2
+        assert fig2_tree.n_sensors == 2 + 24 + 48 + 192
+
+    def test_add_sensor_creates_components(self):
+        tree = SensorTree()
+        tree.add_sensor("/a/b/c/power")
+        assert tree.node("/a") is not None
+        assert tree.node("/a/b/c").sensors == {"power": "/a/b/c/power"}
+
+    def test_root_sensors(self):
+        tree = SensorTree.from_topics(["/db-uptime"])
+        assert tree.root.sensors == {"db-uptime": "/db-uptime"}
+        assert tree.max_level == -1
+
+    def test_duplicate_sensor_is_idempotent(self):
+        tree = SensorTree()
+        tree.add_sensor("/a/power")
+        tree.add_sensor("/a/power")
+        assert tree.n_sensors == 1
+
+    def test_sensor_name_clashing_with_component_rejected(self):
+        tree = SensorTree()
+        tree.add_sensor("/a/b/power")
+        with pytest.raises(TopicError):
+            tree.add_sensor("/a/b")  # 'b' is a component of /a
+
+    def test_add_component_without_sensors(self):
+        tree = SensorTree()
+        tree.add_component("/a/b")
+        assert tree.node("/a/b").sensors == {}
+        assert tree.max_level == 1
+
+
+class TestLevels:
+    def test_levels_are_zero_based_below_root(self, fig2_tree):
+        assert fig2_tree.node("/r01").level == 0
+        assert fig2_tree.node("/r01/c01").level == 1
+        assert fig2_tree.node("/r01/c01/s01").level == 2
+        assert fig2_tree.node("/r01/c01/s01/cpu0").level == 3
+
+    def test_nodes_at_level(self, fig2_tree):
+        assert len(fig2_tree.nodes_at_level(0)) == 4  # racks
+        assert len(fig2_tree.nodes_at_level(1)) == 12  # chassis
+        assert len(fig2_tree.nodes_at_level(2)) == 48  # servers
+        assert len(fig2_tree.nodes_at_level(3)) == 96  # cpus
+        assert fig2_tree.nodes_at_level(9) == []
+
+    def test_resolve_level_topdown(self, fig2_tree):
+        assert fig2_tree.resolve_level("topdown", 0) == 0
+        assert fig2_tree.resolve_level("topdown", 3) == 3
+
+    def test_resolve_level_bottomup(self, fig2_tree):
+        assert fig2_tree.resolve_level("bottomup", 0) == 3
+        assert fig2_tree.resolve_level("bottomup", 1) == 2
+
+    def test_resolve_level_out_of_range(self, fig2_tree):
+        with pytest.raises(TopicError):
+            fig2_tree.resolve_level("topdown", 4)
+        with pytest.raises(TopicError):
+            fig2_tree.resolve_level("bottomup", 4)
+
+    def test_resolve_level_bad_anchor(self, fig2_tree):
+        with pytest.raises(TopicError):
+            fig2_tree.resolve_level("sideways", 0)
+
+
+class TestLookups:
+    def test_node_by_path(self, fig2_tree):
+        assert fig2_tree.node("/r01/c02").name == "c02"
+        assert fig2_tree.node("r01/c02/") is not None  # tolerant form
+        assert fig2_tree.node("/nope") is None
+        assert fig2_tree.node("/") is fig2_tree.root
+
+    def test_has_sensor(self, fig2_tree):
+        assert fig2_tree.has_sensor("/r01/c01/power")
+        assert fig2_tree.has_sensor("/db-uptime")
+        assert not fig2_tree.has_sensor("/r01/c01/bogus")
+
+    def test_all_sensor_topics_count(self, fig2_tree):
+        topics = fig2_tree.all_sensor_topics()
+        assert len(topics) == fig2_tree.n_sensors
+        assert len(set(topics)) == len(topics)
+
+    def test_remove_sensor(self, fig2_tree):
+        assert fig2_tree.remove_sensor("/r01/c01/power")
+        assert not fig2_tree.has_sensor("/r01/c01/power")
+        assert not fig2_tree.remove_sensor("/r01/c01/power")
+
+    def test_sensor_topic_lookup(self, fig2_tree):
+        node = fig2_tree.node("/r01/c01")
+        assert node.sensor_topic("power") == "/r01/c01/power"
+        assert node.sensor_topic("bogus") is None
+
+
+class TestTraversal:
+    def test_iter_subtree(self, fig2_tree):
+        sub = list(fig2_tree.node("/r01/c01").iter_subtree())
+        # chassis + 4 servers + 8 cpus
+        assert len(sub) == 13
+
+    def test_ancestors(self, fig2_tree):
+        cpu = fig2_tree.node("/r01/c01/s01/cpu0")
+        paths = [n.path for n in cpu.ancestors()]
+        assert paths == ["/r01/c01/s01", "/r01/c01", "/r01"]
+
+    def test_hierarchically_related(self, fig2_tree):
+        a = fig2_tree.node("/r01/c01")
+        b = fig2_tree.node("/r01/c01/s02/cpu1")
+        c = fig2_tree.node("/r02")
+        assert fig2_tree.hierarchically_related(a, b)
+        assert fig2_tree.hierarchically_related(b, a)
+        assert fig2_tree.hierarchically_related(a, a)
+        assert not fig2_tree.hierarchically_related(a, c)
+
+    def test_siblings_not_related(self, fig2_tree):
+        a = fig2_tree.node("/r01/c01/s01")
+        b = fig2_tree.node("/r01/c01/s02")
+        assert not fig2_tree.hierarchically_related(a, b)

@@ -1,0 +1,202 @@
+"""Tests for unit resolution (Sections III-B/C and V-C-2)."""
+
+import pytest
+
+from repro.common.errors import UnitResolutionError
+from repro.core.tree import SensorTree
+from repro.core.units import Unit, UnitResolver, resolve_job_unit
+
+
+PAPER_INPUTS = [
+    "<topdown+1>power",
+    "<bottomup, filter cpu>cpu-cycles",
+    "<bottomup, filter cpu>cache-misses",
+]
+PAPER_OUTPUTS = ["<bottomup-1>healthy"]
+
+
+class TestPaperExample:
+    """The exact pattern instantiation walked through in Section III-C."""
+
+    def test_one_unit_per_server(self, fig2_tree):
+        units = UnitResolver(PAPER_INPUTS, PAPER_OUTPUTS).resolve(fig2_tree)
+        assert len(units) == 48
+        assert {u.level for u in units} == {2}
+
+    def test_s02_unit_contents(self, fig2_tree):
+        units = UnitResolver(PAPER_INPUTS, PAPER_OUTPUTS).resolve(fig2_tree)
+        unit = next(u for u in units if u.name == "/r03/c02/s02")
+        assert sorted(unit.inputs) == [
+            "/r03/c02/power",
+            "/r03/c02/s02/cpu0/cache-misses",
+            "/r03/c02/s02/cpu0/cpu-cycles",
+            "/r03/c02/s02/cpu1/cache-misses",
+            "/r03/c02/s02/cpu1/cpu-cycles",
+        ]
+        assert [s.topic for s in unit.outputs] == ["/r03/c02/s02/healthy"]
+
+    def test_output_sensors_marked_operator_outputs(self, fig2_tree):
+        units = UnitResolver(PAPER_INPUTS, PAPER_OUTPUTS).resolve(fig2_tree)
+        assert all(s.is_operator_output for u in units for s in u.outputs)
+
+
+class TestResolutionRules:
+    def test_inputs_must_exist_in_tree(self, fig2_tree):
+        resolver = UnitResolver(["<bottomup>nonexistent"], PAPER_OUTPUTS)
+        with pytest.raises(UnitResolutionError):
+            resolver.resolve(fig2_tree)
+
+    def test_relaxed_skips_unbuildable_units(self):
+        tree = SensorTree.from_topics(
+            ["/r1/n1/cpu0/cycles", "/r1/n2/other"]
+        )
+        resolver = UnitResolver(
+            ["<bottomup, filter cpu>cycles"],
+            ["<bottomup-1>out"],
+            relaxed=True,
+        )
+        units = resolver.resolve(tree)
+        assert [u.name for u in units] == ["/r1/n1"]
+
+    def test_strict_fails_on_any_unbuildable_unit(self):
+        tree = SensorTree.from_topics(
+            ["/r1/n1/cpu0/cycles", "/r1/n2/cpu0/other"]
+        )
+        resolver = UnitResolver(
+            ["<bottomup>cycles"], ["<bottomup-1>out"], relaxed=False
+        )
+        with pytest.raises(UnitResolutionError):
+            resolver.resolve(tree)
+
+    def test_empty_output_domain_fails(self, fig2_tree):
+        resolver = UnitResolver(
+            ["<bottomup>cpu-cycles"], ["<bottomup, filter zzz>out"]
+        )
+        with pytest.raises(UnitResolutionError):
+            resolver.resolve(fig2_tree)
+
+    def test_empty_output_domain_relaxed_returns_nothing(self, fig2_tree):
+        resolver = UnitResolver(
+            ["<bottomup>cpu-cycles"],
+            ["<bottomup, filter zzz>out"],
+            relaxed=True,
+        )
+        assert resolver.resolve(fig2_tree) == []
+
+    def test_needs_at_least_one_output(self):
+        with pytest.raises(UnitResolutionError):
+            UnitResolver(["<bottomup>x"], [])
+
+    def test_unit_defining_output_cannot_be_bare(self, fig2_tree):
+        resolver = UnitResolver(["<bottomup>cpu-cycles"], ["healthy"])
+        with pytest.raises(UnitResolutionError):
+            resolver.resolve(fig2_tree)
+
+    def test_only_hierarchically_related_inputs_bind(self, fig2_tree):
+        # power at chassis level: each server unit must only see ITS
+        # chassis' power, not all 12 chassis.
+        units = UnitResolver(
+            ["<topdown+1>power"], ["<bottomup-1>out"]
+        ).resolve(fig2_tree)
+        for unit in units:
+            assert len(unit.inputs) == 1
+            assert unit.name.startswith(unit.inputs[0].rsplit("/", 1)[0])
+
+    def test_descending_inputs_collect_all_matching(self, fig2_tree):
+        # A chassis-level unit collects sensors from all its cpus.
+        units = UnitResolver(
+            ["<bottomup>cpu-cycles"], ["<topdown+1>out"]
+        ).resolve(fig2_tree)
+        assert len(units) == 12
+        assert all(len(u.inputs) == 8 for u in units)  # 4 servers * 2 cpus
+
+    def test_publish_flag_propagates(self, fig2_tree):
+        units = UnitResolver(
+            PAPER_INPUTS, PAPER_OUTPUTS, publish_outputs=False
+        ).resolve(fig2_tree)
+        assert all(not s.publish for u in units for s in u.outputs)
+
+
+class TestResolveForName:
+    def test_builds_single_unit(self, fig2_tree):
+        resolver = UnitResolver(PAPER_INPUTS, PAPER_OUTPUTS)
+        unit = resolver.resolve_for_name(fig2_tree, "/r03/c02/s02")
+        assert unit.name == "/r03/c02/s02"
+        assert len(unit.inputs) == 5
+
+    def test_rejects_unknown_node(self, fig2_tree):
+        resolver = UnitResolver(PAPER_INPUTS, PAPER_OUTPUTS)
+        with pytest.raises(UnitResolutionError):
+            resolver.resolve_for_name(fig2_tree, "/nope")
+
+    def test_rejects_node_outside_domain(self, fig2_tree):
+        resolver = UnitResolver(PAPER_INPUTS, PAPER_OUTPUTS)
+        with pytest.raises(UnitResolutionError):
+            resolver.resolve_for_name(fig2_tree, "/r01/c01")  # chassis
+
+
+class TestUnitHelpers:
+    def test_output_by_name(self, fig2_tree):
+        unit = UnitResolver(PAPER_INPUTS, PAPER_OUTPUTS).resolve(fig2_tree)[0]
+        assert unit.output_by_name("healthy").topic.endswith("/healthy")
+        with pytest.raises(KeyError):
+            unit.output_by_name("nope")
+
+    def test_inputs_named(self, fig2_tree):
+        unit = next(
+            u
+            for u in UnitResolver(PAPER_INPUTS, PAPER_OUTPUTS).resolve(fig2_tree)
+            if u.name == "/r03/c02/s02"
+        )
+        assert len(unit.inputs_named("cpu-cycles")) == 2
+        assert unit.inputs_named("power") == ["/r03/c02/power"]
+        assert unit.inputs_named("zzz") == []
+
+
+class TestJobUnits:
+    def test_collects_inputs_across_job_nodes(self, fig2_tree):
+        unit = resolve_job_unit(
+            fig2_tree,
+            "job42",
+            ["/r01/c01/s01", "/r01/c01/s02"],
+            ["<bottomup, filter cpu>cpu-cycles"],
+            ["decile0", "decile5"],
+        )
+        assert unit.tag == "job42"
+        assert unit.name == "/jobs/job42"
+        assert len(unit.inputs) == 4  # 2 nodes * 2 cpus
+        assert [s.topic for s in unit.outputs] == [
+            "/jobs/job42/decile0",
+            "/jobs/job42/decile5",
+        ]
+
+    def test_unit_anchor_reads_node_level_sensor(self, fig2_tree):
+        unit = resolve_job_unit(
+            fig2_tree,
+            "j",
+            ["/r01/c01/s01"],
+            ["memfree"],
+            ["out"],
+        )
+        assert unit.inputs == ["/r01/c01/s01/memfree"]
+
+    def test_unknown_node_strict_raises(self, fig2_tree):
+        with pytest.raises(UnitResolutionError):
+            resolve_job_unit(fig2_tree, "j", ["/nope"], ["memfree"], ["o"])
+
+    def test_unknown_node_relaxed_skips(self, fig2_tree):
+        unit = resolve_job_unit(
+            fig2_tree,
+            "j",
+            ["/nope", "/r01/c01/s01"],
+            ["memfree"],
+            ["o"],
+            relaxed=True,
+        )
+        assert len(unit.inputs) == 1
+
+    def test_no_inputs_strict_raises(self, fig2_tree):
+        with pytest.raises(UnitResolutionError):
+            resolve_job_unit(
+                fig2_tree, "j", ["/r01/c01/s01"], ["bogus"], ["o"]
+            )

@@ -1,0 +1,224 @@
+"""Tests for the sensor cache ring buffer and its views."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.timeutil import NS_PER_SEC
+from repro.dcdb.cache import CacheView, SensorCache, default_cache
+from repro.dcdb.sensor import SensorReading
+
+
+def fill(cache: SensorCache, n: int, start: int = 0, step: int = NS_PER_SEC):
+    for i in range(n):
+        cache.store(start + i * step, float(i))
+
+
+class TestStore:
+    def test_empty(self):
+        c = SensorCache(4)
+        assert len(c) == 0
+        assert c.latest() is None
+        assert c.oldest() is None
+
+    def test_basic_append(self):
+        c = SensorCache(4)
+        fill(c, 3)
+        assert len(c) == 3
+        assert c.latest() == SensorReading(2 * NS_PER_SEC, 2.0)
+        assert c.oldest() == SensorReading(0, 0.0)
+
+    def test_wraparound_evicts_oldest(self):
+        c = SensorCache(4)
+        fill(c, 6)
+        assert len(c) == 4
+        assert c.oldest().value == 2.0
+        assert c.latest().value == 5.0
+
+    def test_out_of_order_dropped(self):
+        c = SensorCache(4)
+        c.store(100, 1.0)
+        c.store(50, 2.0)  # stale, dropped
+        assert len(c) == 1
+        assert c.latest().value == 1.0
+
+    def test_equal_timestamp_kept(self):
+        c = SensorCache(4)
+        c.store(100, 1.0)
+        c.store(100, 2.0)
+        assert len(c) == 2
+
+    def test_store_reading(self):
+        c = SensorCache(2)
+        c.store_reading(SensorReading(5, 7.0))
+        assert c.latest() == SensorReading(5, 7.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SensorCache(0)
+
+    def test_clear(self):
+        c = SensorCache(4)
+        fill(c, 3)
+        c.clear()
+        assert len(c) == 0
+        assert c.latest() is None
+
+
+class TestStoreBatch:
+    def test_simple_batch(self):
+        c = SensorCache(8)
+        ts = np.arange(5, dtype=np.int64)
+        c.store_batch(ts, ts.astype(float))
+        assert len(c) == 5
+        assert c.latest().value == 4.0
+
+    def test_batch_wrap(self):
+        c = SensorCache(4)
+        fill(c, 3)
+        ts = np.array([10, 11, 12], dtype=np.int64) * NS_PER_SEC
+        c.store_batch(ts, np.array([10.0, 11.0, 12.0]))
+        assert len(c) == 4
+        assert c.latest().value == 12.0
+
+    def test_batch_larger_than_capacity(self):
+        c = SensorCache(3)
+        ts = np.arange(10, dtype=np.int64)
+        c.store_batch(ts, ts.astype(float))
+        assert len(c) == 3
+        assert list(c.view_relative(10**9).values()) == [7.0, 8.0, 9.0]
+
+    def test_empty_batch(self):
+        c = SensorCache(3)
+        c.store_batch(np.empty(0, dtype=np.int64), np.empty(0))
+        assert len(c) == 0
+
+
+class TestRelativeViews:
+    def test_zero_offset_is_latest_only(self):
+        c = SensorCache(8, interval_ns=NS_PER_SEC)
+        fill(c, 5)
+        v = c.view_relative(0)
+        assert len(v) == 1
+        assert v.last().value == 4.0
+
+    def test_offset_counts_by_interval(self):
+        c = SensorCache(8, interval_ns=NS_PER_SEC)
+        fill(c, 5)
+        v = c.view_relative(2 * NS_PER_SEC)
+        assert len(v) == 3  # offset/interval + 1
+        assert list(v.values()) == [2.0, 3.0, 4.0]
+
+    def test_offset_clamped_to_contents(self):
+        c = SensorCache(8, interval_ns=NS_PER_SEC)
+        fill(c, 3)
+        v = c.view_relative(100 * NS_PER_SEC)
+        assert len(v) == 3
+
+    def test_negative_offset_rejected(self):
+        c = SensorCache(4, interval_ns=1)
+        fill(c, 2)
+        with pytest.raises(QueryError):
+            c.view_relative(-1)
+
+    def test_empty_cache_empty_view(self):
+        c = SensorCache(4, interval_ns=1)
+        assert len(c.view_relative(100)) == 0
+
+    def test_no_interval_hint_falls_back_to_search(self):
+        c = SensorCache(8)  # no interval hint
+        fill(c, 5)
+        v = c.view_relative(2 * NS_PER_SEC)
+        assert list(v.values()) == [2.0, 3.0, 4.0]
+
+    def test_view_spanning_wrap_is_correct(self):
+        c = SensorCache(4, interval_ns=NS_PER_SEC)
+        fill(c, 6)  # buffer holds 2..5, physically wrapped
+        v = c.view_relative(3 * NS_PER_SEC)
+        assert list(v.values()) == [2.0, 3.0, 4.0, 5.0]
+        # timestamps must be sorted even across the wrap point
+        ts = v.timestamps()
+        assert (np.diff(ts) >= 0).all()
+
+
+class TestAbsoluteViews:
+    def test_inclusive_bounds(self):
+        c = SensorCache(8)
+        fill(c, 5)
+        v = c.view_absolute(1 * NS_PER_SEC, 3 * NS_PER_SEC)
+        assert list(v.values()) == [1.0, 2.0, 3.0]
+
+    def test_partial_range(self):
+        c = SensorCache(8)
+        fill(c, 5)
+        v = c.view_absolute(-5, NS_PER_SEC // 2)
+        assert list(v.values()) == [0.0]
+
+    def test_empty_range(self):
+        c = SensorCache(8)
+        fill(c, 5)
+        v = c.view_absolute(10 * NS_PER_SEC, 20 * NS_PER_SEC)
+        assert len(v) == 0
+
+    def test_inverted_range_rejected(self):
+        c = SensorCache(8)
+        fill(c, 2)
+        with pytest.raises(QueryError):
+            c.view_absolute(100, 50)
+
+    def test_absolute_across_wrap(self):
+        c = SensorCache(4)
+        fill(c, 7)  # holds 3..6
+        v = c.view_absolute(3 * NS_PER_SEC, 6 * NS_PER_SEC)
+        assert list(v.values()) == [3.0, 4.0, 5.0, 6.0]
+
+
+class TestCacheView:
+    def test_iteration_yields_readings(self):
+        c = SensorCache(4)
+        fill(c, 3)
+        readings = list(c.view_relative(10 * NS_PER_SEC))
+        assert readings[0] == SensorReading(0, 0.0)
+        assert readings[-1].value == 2.0
+
+    def test_first_last(self):
+        c = SensorCache(4)
+        fill(c, 3)
+        v = c.view_absolute(0, 10 * NS_PER_SEC)
+        assert v.first().value == 0.0
+        assert v.last().value == 2.0
+
+    def test_empty_view_raises_on_first(self):
+        with pytest.raises(QueryError):
+            CacheView.empty().first()
+
+    def test_bool(self):
+        assert not CacheView.empty()
+
+    def test_values_cached_and_consistent(self):
+        c = SensorCache(4)
+        fill(c, 6)
+        v = c.view_relative(10 * NS_PER_SEC)
+        assert v.values() is v.values()  # lazily concatenated once
+        assert len(v.values()) == len(v.timestamps()) == len(v)
+
+
+class TestSizing:
+    def test_for_duration(self):
+        c = SensorCache.for_duration(180 * NS_PER_SEC, NS_PER_SEC)
+        assert c.capacity >= 180
+        assert c.interval_ns == NS_PER_SEC
+
+    def test_for_duration_bad_interval(self):
+        with pytest.raises(ValueError):
+            SensorCache.for_duration(10, 0)
+
+    def test_default_cache_footprint_is_small(self):
+        # 1000 sensors at 1 s / 180 s retention must stay well under the
+        # paper's 25 MB pusher budget.
+        per_sensor = default_cache(NS_PER_SEC).memory_bytes()
+        assert per_sensor * 1000 < 25 * 1024 * 1024
+
+    def test_memory_bytes_counts_both_arrays(self):
+        c = SensorCache(100)
+        assert c.memory_bytes() == 100 * (8 + 8)

@@ -1,0 +1,191 @@
+"""Tests for the in-process MQTT-style broker."""
+
+import pytest
+
+from repro.common.errors import TopicError
+from repro.dcdb.mqtt import Broker, Message, QueuedSubscriber
+
+
+class Recorder:
+    def __init__(self):
+        self.messages = []
+
+    def __call__(self, topic, value, ts):
+        self.messages.append((topic, value, ts))
+
+
+class TestExactSubscriptions:
+    def test_deliver_to_exact_match(self):
+        b = Broker()
+        rec = Recorder()
+        b.subscribe("/a/b/power", rec)
+        n = b.publish("/a/b/power", 1.5, 10)
+        assert n == 1
+        assert rec.messages == [("/a/b/power", 1.5, 10)]
+
+    def test_no_delivery_to_other_topics(self):
+        b = Broker()
+        rec = Recorder()
+        b.subscribe("/a/b/power", rec)
+        assert b.publish("/a/b/temp", 1.0, 10) == 0
+        assert rec.messages == []
+
+    def test_multiple_subscribers(self):
+        b = Broker()
+        r1, r2 = Recorder(), Recorder()
+        b.subscribe("/x/y", r1)
+        b.subscribe("/x/y", r2)
+        assert b.publish("/x/y", 2.0, 1) == 2
+
+
+class TestWildcardSubscriptions:
+    def test_plus_matches_single_level(self):
+        b = Broker()
+        rec = Recorder()
+        b.subscribe("/rack/+/power", rec)
+        b.publish("/rack/n1/power", 1.0, 1)
+        b.publish("/rack/n2/power", 2.0, 2)
+        b.publish("/rack/n1/x/power", 3.0, 3)  # too deep
+        assert [m[1] for m in rec.messages] == [1.0, 2.0]
+
+    def test_hash_matches_subtree(self):
+        b = Broker()
+        rec = Recorder()
+        b.subscribe("/rack/#", rec)
+        b.publish("/rack/n1/power", 1.0, 1)
+        b.publish("/rack/n1/cpu0/cycles", 2.0, 2)
+        b.publish("/other/n1/power", 3.0, 3)
+        assert len(rec.messages) == 2
+
+    def test_root_hash_sees_everything(self):
+        b = Broker()
+        rec = Recorder()
+        b.subscribe("/#", rec)
+        b.publish("/a", 1.0, 1)
+        b.publish("/a/b/c/d", 2.0, 2)
+        assert len(rec.messages) == 2
+
+    def test_hash_not_last_rejected(self):
+        b = Broker()
+        with pytest.raises(TopicError):
+            b.subscribe("/a/#/b", Recorder())
+
+    def test_mixed_wildcards(self):
+        b = Broker()
+        rec = Recorder()
+        b.subscribe("/+/n1/#", rec)
+        b.publish("/r1/n1/cpu/x", 1.0, 1)
+        b.publish("/r2/n2/cpu/x", 2.0, 2)
+        assert len(rec.messages) == 1
+
+
+class TestUnsubscribe:
+    def test_unsubscribe_stops_delivery(self):
+        b = Broker()
+        rec = Recorder()
+        sid = b.subscribe("/a", rec)
+        assert b.unsubscribe(sid) is True
+        b.publish("/a", 1.0, 1)
+        assert rec.messages == []
+
+    def test_unsubscribe_unknown(self):
+        assert Broker().unsubscribe(999) is False
+
+    def test_unsubscribe_wildcard(self):
+        b = Broker()
+        rec = Recorder()
+        sid = b.subscribe("/a/#", rec)
+        b.unsubscribe(sid)
+        b.publish("/a/b", 1.0, 1)
+        assert rec.messages == []
+
+    def test_subscription_count(self):
+        b = Broker()
+        sid = b.subscribe("/a", Recorder())
+        b.subscribe("/b", Recorder())
+        assert b.subscription_count() == 2
+        b.unsubscribe(sid)
+        assert b.subscription_count() == 1
+
+
+class TestRetained:
+    def test_retained_replayed_on_subscribe(self):
+        b = Broker()
+        b.publish("/a/conf", 42.0, 5, retain=True)
+        rec = Recorder()
+        b.subscribe("/a/conf", rec, replay_retained=True)
+        assert rec.messages == [("/a/conf", 42.0, 5)]
+
+    def test_retained_replay_honours_wildcards(self):
+        b = Broker()
+        b.publish("/a/x", 1.0, 1, retain=True)
+        b.publish("/b/x", 2.0, 2, retain=True)
+        rec = Recorder()
+        b.subscribe("/a/#", rec, replay_retained=True)
+        assert len(rec.messages) == 1
+
+    def test_retained_lookup(self):
+        b = Broker()
+        b.publish("/a", 1.0, 1, retain=True)
+        assert b.retained("/a") == Message("/a", 1.0, 1)
+        assert b.retained("/b") is None
+
+    def test_no_replay_without_flag(self):
+        b = Broker()
+        b.publish("/a", 1.0, 1, retain=True)
+        rec = Recorder()
+        b.subscribe("/a", rec)
+        assert rec.messages == []
+
+
+class TestCounters:
+    def test_published_and_delivered(self):
+        b = Broker()
+        b.subscribe("/#", Recorder())
+        b.subscribe("/a", Recorder())
+        b.publish("/a", 1.0, 1)
+        b.publish("/b", 2.0, 2)
+        assert b.published_count == 2
+        assert b.delivered_count == 3
+
+
+class TestQueuedSubscriber:
+    def test_enqueue_and_drain(self):
+        b = Broker()
+        q = QueuedSubscriber()
+        q.attach(b, "/#")
+        b.publish("/a", 1.0, 1)
+        b.publish("/b", 2.0, 2)
+        assert len(q) == 2
+        msgs = q.drain()
+        assert [m.topic for m in msgs] == ["/a", "/b"]
+        assert len(q) == 0
+
+    def test_drain_limit(self):
+        b = Broker()
+        q = QueuedSubscriber()
+        q.attach(b, "/#")
+        for i in range(5):
+            b.publish("/t", float(i), i)
+        assert len(q.drain(limit=2)) == 2
+        assert len(q) == 3
+
+    def test_bounded_queue_drops_and_counts(self):
+        b = Broker()
+        q = QueuedSubscriber(maxlen=2)
+        q.attach(b, "/#")
+        for i in range(4):
+            b.publish("/t", float(i), i)
+        assert len(q) == 2
+        assert q.dropped == 2
+        # deque(maxlen) keeps the newest entries
+        assert [m.value for m in q.drain()] == [2.0, 3.0]
+
+
+class TestPublishValidation:
+    def test_wildcards_rejected_in_publish_topics(self):
+        b = Broker()
+        with pytest.raises(TopicError):
+            b.publish("/a/+/b", 1.0, 1)
+        with pytest.raises(TopicError):
+            b.publish("/a/#", 1.0, 1)

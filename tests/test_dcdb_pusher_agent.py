@@ -1,0 +1,163 @@
+"""Tests for the Pusher and Collect Agent data paths."""
+
+import pytest
+
+from repro.common.errors import ConfigError, PluginError
+from repro.common.timeutil import NS_PER_SEC
+from repro.dcdb import Broker, CollectAgent, Pusher
+from repro.dcdb.plugins import SysfsPlugin, TesterMonitoringPlugin
+from repro.dcdb.sensor import Sensor
+from repro.simulator.clock import TaskScheduler
+
+
+@pytest.fixture
+def rig():
+    class NS:
+        pass
+
+    ns = NS()
+    ns.scheduler = TaskScheduler()
+    ns.broker = Broker()
+    ns.pusher = Pusher("/r0/c0/n0", ns.broker, ns.scheduler)
+    ns.agent = CollectAgent("agent", ns.broker, ns.scheduler)
+    return ns
+
+
+class TestPusherSampling:
+    def test_plugin_sensors_get_caches(self, rig):
+        plugin = TesterMonitoringPlugin("/r0/c0/n0", n_sensors=5)
+        rig.pusher.add_plugin(plugin)
+        assert len(rig.pusher.sensor_topics()) == 5
+        for topic in rig.pusher.sensor_topics():
+            assert rig.pusher.cache_for(topic) is not None
+
+    def test_sampling_fills_caches(self, rig):
+        rig.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=3))
+        rig.scheduler.run_until(5 * NS_PER_SEC)
+        cache = rig.pusher.cache_for("/r0/c0/n0/tester0000")
+        assert len(cache) == 6  # t=0..5 inclusive
+        assert cache.latest().value == 6.0  # monotonic counter
+
+    def test_duplicate_plugin_rejected(self, rig):
+        rig.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=1))
+        with pytest.raises(ConfigError):
+            rig.pusher.add_plugin(
+                TesterMonitoringPlugin("/r0/c0/n1", n_sensors=1)
+            )
+
+    def test_duplicate_sensor_rejected(self, rig):
+        rig.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=1))
+        p2 = TesterMonitoringPlugin("/r0/c0/n0", n_sensors=1)
+        p2.name = "tester2"
+        with pytest.raises(ConfigError):
+            rig.pusher.add_plugin(p2)
+
+    def test_stop_start_plugin(self, rig):
+        rig.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=1))
+        rig.scheduler.run_until(2 * NS_PER_SEC)
+        rig.pusher.set_plugin_enabled("tester", False)
+        before = len(rig.pusher.cache_for("/r0/c0/n0/tester0000"))
+        rig.scheduler.run_until(5 * NS_PER_SEC)
+        assert len(rig.pusher.cache_for("/r0/c0/n0/tester0000")) == before
+        rig.pusher.set_plugin_enabled("tester", True)
+        rig.scheduler.run_until(7 * NS_PER_SEC)
+        assert len(rig.pusher.cache_for("/r0/c0/n0/tester0000")) > before
+
+    def test_unknown_plugin_errors(self, rig):
+        with pytest.raises(PluginError):
+            rig.pusher.plugin("nope")
+        with pytest.raises(PluginError):
+            rig.pusher.set_plugin_enabled("nope", True)
+
+    def test_sampling_busy_time_recorded(self, rig):
+        rig.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=10))
+        rig.scheduler.run_until(3 * NS_PER_SEC)
+        assert rig.pusher.sampling_busy_ns > 0
+
+
+class TestOperatorOutputPath:
+    def test_store_reading_creates_lazy_cache(self, rig):
+        sensor = Sensor("/r0/c0/n0/derived", is_operator_output=True)
+        rig.pusher.store_reading(sensor, 10, 3.5)
+        cache = rig.pusher.cache_for("/r0/c0/n0/derived")
+        assert cache is not None
+        assert cache.latest().value == 3.5
+
+    def test_unpublished_sensor_stays_local(self, rig):
+        sensor = Sensor("/r0/c0/n0/local", publish=False)
+        rig.pusher.store_reading(sensor, 10, 1.0)
+        rig.agent.flush()
+        assert rig.agent.storage.count("/r0/c0/n0/local") == 0
+
+    def test_published_sensor_reaches_agent(self, rig):
+        sensor = Sensor("/r0/c0/n0/remote", publish=True)
+        rig.pusher.store_reading(sensor, 10, 1.0)
+        rig.agent.flush()
+        assert rig.agent.storage.count("/r0/c0/n0/remote") == 1
+
+
+class TestCollectAgent:
+    def test_forwarding_to_storage(self, rig):
+        rig.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=2))
+        rig.scheduler.run_until(5 * NS_PER_SEC)
+        # One drain may lag a tick; flush to settle.
+        rig.agent.flush()
+        assert rig.agent.storage.count("/r0/c0/n0/tester0000") >= 5
+        assert rig.agent.forwarded_count >= 10
+
+    def test_agent_caches_mirror_traffic(self, rig):
+        rig.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=1))
+        rig.scheduler.run_until(3 * NS_PER_SEC)
+        rig.agent.flush()
+        cache = rig.agent.cache_for("/r0/c0/n0/tester0000")
+        assert cache is not None and len(cache) >= 3
+
+    def test_agent_storage_fallback_has_everything(self, rig):
+        rig.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=1))
+        rig.scheduler.run_until(3 * NS_PER_SEC)
+        rig.agent.flush()
+        assert "/r0/c0/n0/tester0000" in rig.agent.sensor_topics()
+
+    def test_subscribe_pattern_scopes_agent(self):
+        scheduler = TaskScheduler()
+        broker = Broker()
+        pusher = Pusher("/r0/c0/n0", broker, scheduler)
+        agent = CollectAgent(
+            "agent", broker, scheduler, subscribe_pattern="/r1/#"
+        )
+        pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=1))
+        scheduler.run_until(3 * NS_PER_SEC)
+        agent.flush()
+        assert agent.storage.total_readings() == 0
+
+    def test_rest_stats(self, rig):
+        rig.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=1))
+        rig.scheduler.run_until(2 * NS_PER_SEC)
+        rig.agent.flush()
+        resp = rig.agent.rest.get("/stats")
+        assert resp.ok
+        assert resp.body["forwarded"] >= 2
+
+
+class TestPusherRest:
+    def test_plugin_listing(self, rig):
+        rig.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=1))
+        assert rig.pusher.rest.get("/plugins").body == {"plugins": ["tester"]}
+
+    def test_sensor_listing(self, rig):
+        rig.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=2))
+        body = rig.pusher.rest.get("/sensors").body
+        assert len(body["sensors"]) == 2
+
+    def test_stop_via_rest(self, rig):
+        rig.pusher.add_plugin(TesterMonitoringPlugin("/r0/c0/n0", n_sensors=1))
+        resp = rig.pusher.rest.put("/plugins/tester/stop")
+        assert resp.ok
+        rig.scheduler.run_until(3 * NS_PER_SEC)
+        assert len(rig.pusher.cache_for("/r0/c0/n0/tester0000")) == 0
+
+    def test_bad_plugin_action_404(self, rig):
+        assert rig.pusher.rest.put("/plugins/nope/start").status == 404
+
+    def test_malformed_action_400(self, rig):
+        assert rig.pusher.rest.put("/plugins/tester/explode").status == 400

@@ -1,0 +1,66 @@
+"""Tests for the REST-style control surface."""
+
+from repro.dcdb.restapi import RestApi, RestRequest, RestResponse
+
+
+def ok_handler(req):
+    return RestResponse.json({"path": req.path, "who": req.param("who", "none")})
+
+
+class TestRouting:
+    def test_exact_prefix(self):
+        api = RestApi()
+        api.register("GET", "/sensors", ok_handler)
+        resp = api.get("/sensors")
+        assert resp.ok
+        assert resp.body["path"] == "/sensors"
+
+    def test_subpath_matches_prefix(self):
+        api = RestApi()
+        api.register("GET", "/sensors", ok_handler)
+        assert api.get("/sensors/power").ok
+
+    def test_longest_prefix_wins(self):
+        api = RestApi()
+        api.register("GET", "/analytics", lambda r: RestResponse.json({"r": 1}))
+        api.register(
+            "GET", "/analytics/operators", lambda r: RestResponse.json({"r": 2})
+        )
+        assert api.get("/analytics/operators/foo").body["r"] == 2
+        assert api.get("/analytics/other").body["r"] == 1
+
+    def test_similar_prefix_does_not_match(self):
+        api = RestApi()
+        api.register("GET", "/sense", ok_handler)
+        assert api.get("/sensors").status == 404
+
+    def test_unknown_path_404(self):
+        api = RestApi()
+        api.register("GET", "/a", ok_handler)
+        assert api.get("/b").status == 404
+
+    def test_wrong_method_405(self):
+        api = RestApi()
+        api.register("GET", "/a", ok_handler)
+        assert api.put("/a").status == 405
+
+    def test_params_passed(self):
+        api = RestApi()
+        api.register("GET", "/a", ok_handler)
+        assert api.get("/a", who="me").body["who"] == "me"
+
+    def test_methods_are_case_insensitive(self):
+        api = RestApi()
+        api.register("get", "/a", ok_handler)
+        assert api.dispatch(RestRequest("GET", "/a")).ok
+
+
+class TestResponses:
+    def test_ok_range(self):
+        assert RestResponse.json({}).ok
+        assert not RestResponse.error("x").ok
+
+    def test_error_body(self):
+        resp = RestResponse.error("boom", 500)
+        assert resp.status == 500
+        assert resp.body == {"error": "boom"}

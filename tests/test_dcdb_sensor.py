@@ -1,0 +1,64 @@
+"""Tests for sensors, readings and sensor specs."""
+
+import pytest
+
+from repro.common.errors import TopicError
+from repro.dcdb.sensor import Sensor, SensorReading, SensorSpec
+
+
+class TestSensorReading:
+    def test_fields(self):
+        r = SensorReading(10, 2.5)
+        assert r.timestamp == 10
+        assert r.value == 2.5
+
+    def test_tuple_semantics(self):
+        assert SensorReading(1, 2.0) == (1, 2.0)
+
+
+class TestSensor:
+    def test_topic_normalised(self):
+        s = Sensor("r0/n0/power/")
+        assert s.topic == "/r0/n0/power"
+
+    def test_name_is_last_segment(self):
+        assert Sensor("/r0/n0/power").name == "power"
+
+    def test_invalid_topic_rejected(self):
+        with pytest.raises(TopicError):
+            Sensor("")
+        with pytest.raises(TopicError):
+            Sensor("/a//b")
+
+    def test_defaults(self):
+        s = Sensor("/a/b")
+        assert s.publish
+        assert not s.is_delta
+        assert not s.is_operator_output
+
+    def test_hashable_by_topic(self):
+        a, b = Sensor("/a/x"), Sensor("a/x")
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestSensorSpec:
+    def test_bind_builds_full_topic(self):
+        spec = SensorSpec(name="power", unit="W")
+        sensor = spec.bind("/r0/c0/n0")
+        assert sensor.topic == "/r0/c0/n0/power"
+        assert sensor.unit == "W"
+
+    def test_bind_tolerates_trailing_slash(self):
+        sensor = SensorSpec(name="temp").bind("/r0/n0/")
+        assert sensor.topic == "/r0/n0/temp"
+
+    def test_flags_propagate(self):
+        spec = SensorSpec(name="cycles", is_delta=True, publish=False)
+        sensor = spec.bind("/n0")
+        assert sensor.is_delta
+        assert not sensor.publish
+
+    def test_params_carried_on_spec(self):
+        spec = SensorSpec(name="x", params={"source": "msr"})
+        assert spec.params["source"] == "msr"

@@ -1,0 +1,146 @@
+"""Tests for the in-memory time-series storage backend."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StorageError
+from repro.dcdb.sensor import SensorReading
+from repro.dcdb.storage import StorageBackend
+
+
+class TestInsertQuery:
+    def test_roundtrip(self):
+        s = StorageBackend()
+        s.insert("/a/power", 10, 1.0)
+        s.insert("/a/power", 20, 2.0)
+        ts, val = s.query("/a/power", 0, 100)
+        assert list(ts) == [10, 20]
+        assert list(val) == [1.0, 2.0]
+
+    def test_range_bounds_inclusive(self):
+        s = StorageBackend()
+        for t in (10, 20, 30):
+            s.insert("/a", t, float(t))
+        ts, _ = s.query("/a", 10, 20)
+        assert list(ts) == [10, 20]
+
+    def test_unknown_topic_empty(self):
+        s = StorageBackend()
+        ts, val = s.query("/nope", 0, 10)
+        assert len(ts) == 0 and len(val) == 0
+
+    def test_inverted_range_rejected(self):
+        s = StorageBackend()
+        with pytest.raises(StorageError):
+            s.query("/a", 10, 5)
+
+    def test_out_of_order_insert_dropped(self):
+        s = StorageBackend()
+        s.insert("/a", 100, 1.0)
+        s.insert("/a", 50, 2.0)
+        assert s.count("/a") == 1
+
+    def test_latest(self):
+        s = StorageBackend()
+        assert s.latest("/a") is None
+        s.insert("/a", 10, 1.0)
+        s.insert("/a", 20, 2.0)
+        assert s.latest("/a") == SensorReading(20, 2.0)
+
+    def test_query_readings(self):
+        s = StorageBackend()
+        s.insert("/a", 10, 1.0)
+        assert s.query_readings("/a", 0, 100) == [SensorReading(10, 1.0)]
+
+    def test_contains(self):
+        s = StorageBackend()
+        assert "/a" not in s
+        s.insert("/a", 1, 1.0)
+        assert "/a" in s
+
+    def test_growth_beyond_initial_capacity(self):
+        s = StorageBackend()
+        for i in range(1000):
+            s.insert("/a", i, float(i))
+        assert s.count("/a") == 1000
+        ts, _ = s.query("/a", 500, 509)
+        assert len(ts) == 10
+
+
+class TestBatch:
+    def test_insert_batch(self):
+        s = StorageBackend()
+        ts = np.arange(100, dtype=np.int64)
+        s.insert_batch("/a", ts, ts.astype(float))
+        assert s.count("/a") == 100
+
+    def test_batch_length_mismatch(self):
+        s = StorageBackend()
+        with pytest.raises(StorageError):
+            s.insert_batch("/a", np.arange(3), np.arange(2).astype(float))
+
+
+class TestMaintenance:
+    def test_ttl_expiry(self):
+        s = StorageBackend(ttl_ns=100)
+        for t in (0, 50, 150, 200):
+            s.insert("/a", t, float(t))
+        dropped = s.expire(now_ns=200)
+        assert dropped == 2  # 0 and 50 are older than 200-100
+        ts, _ = s.query("/a", 0, 1000)
+        assert list(ts) == [150, 200]
+
+    def test_no_ttl_no_expiry(self):
+        s = StorageBackend()
+        s.insert("/a", 0, 1.0)
+        assert s.expire(10**12) == 0
+
+    def test_drop(self):
+        s = StorageBackend()
+        s.insert("/a", 1, 1.0)
+        assert s.drop("/a") is True
+        assert s.drop("/a") is False
+        assert s.count("/a") == 0
+
+    def test_counters_and_totals(self):
+        s = StorageBackend()
+        s.insert("/a", 1, 1.0)
+        s.insert("/b", 2, 2.0)
+        s.query("/a", 0, 10)
+        assert s.insert_count == 2
+        assert s.query_count == 1
+        assert s.total_readings() == 2
+        assert set(s.topics()) == {"/a", "/b"}
+        assert s.memory_bytes() > 0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        s = StorageBackend()
+        for i in range(50):
+            s.insert("/a/power", i * 10, float(i))
+            s.insert("/b/temp", i * 10, float(-i))
+        path = str(tmp_path / "snap.npz")
+        assert s.save(path) == 2
+        restored = StorageBackend.load(path)
+        assert set(restored.topics()) == {"/a/power", "/b/temp"}
+        for topic in s.topics():
+            ts_a, val_a = s.query(topic, 0, 10**6)
+            ts_b, val_b = restored.query(topic, 0, 10**6)
+            assert list(ts_a) == list(ts_b)
+            assert list(val_a) == list(val_b)
+
+    def test_empty_snapshot(self, tmp_path):
+        path = str(tmp_path / "empty.npz")
+        assert StorageBackend().save(path) == 0
+        restored = StorageBackend.load(path)
+        assert restored.total_readings() == 0
+
+    def test_restore_does_not_count_as_inserts(self, tmp_path):
+        s = StorageBackend()
+        s.insert("/a", 1, 1.0)
+        path = str(tmp_path / "snap.npz")
+        s.save(path)
+        restored = StorageBackend.load(path)
+        assert restored.insert_count == 0
+        assert restored.total_readings() == 1

@@ -1,0 +1,54 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least byte-compile; the fastest ones run to
+completion under a subprocess so API drift in the examples is caught by
+the suite (the longer case-study examples are exercised through the
+figure benchmarks instead).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Examples fast enough to execute inside the test suite.
+FAST_EXAMPLES = ["quickstart.py", "ondemand_scheduling.py"]
+
+
+def test_examples_exist():
+    names = {p.name for p in ALL_EXAMPLES}
+    for expected in (
+        "quickstart.py",
+        "power_prediction.py",
+        "job_analysis.py",
+        "cluster_anomalies.py",
+        "feedback_loop.py",
+        "ondemand_scheduling.py",
+        "app_fingerprinting.py",
+        "infrastructure_cooling.py",
+        "job_duration_prediction.py",
+        "virtual_sensors.py",
+    ):
+        assert expected in names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"

@@ -1,0 +1,303 @@
+"""End-to-end integration: simulator -> pushers -> MQTT -> collect agent
+-> Wintermute operators on both hosts."""
+
+import numpy as np
+import pytest
+
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.manager import OperatorManager
+from repro.dcdb import Broker, CollectAgent, Pusher
+from repro.dcdb.plugins import PerfeventPlugin, ProcfsPlugin, SysfsPlugin
+from repro.simulator import ClusterSimulator, ClusterSpec
+from repro.simulator.clock import TaskScheduler
+from repro.simulator.scheduler import Job
+
+
+def build_cluster(n_nodes=3, cpus=4, seed=7):
+    """Full mini-deployment: one pusher per node + one collect agent."""
+
+    class NS:
+        pass
+
+    ns = NS()
+    ns.sim = ClusterSimulator(ClusterSpec.small(nodes=n_nodes, cpus=cpus), seed=seed)
+    ns.scheduler = TaskScheduler()
+    ns.broker = Broker()
+    ns.pushers = {}
+    ns.managers = {}
+    for node in ns.sim.node_paths:
+        pusher = Pusher(node, ns.broker, ns.scheduler)
+        pusher.add_plugin(SysfsPlugin(ns.sim, node))
+        pusher.add_plugin(ProcfsPlugin(ns.sim, node))
+        pusher.add_plugin(PerfeventPlugin(ns.sim, node))
+        manager = OperatorManager()
+        pusher.attach_analytics(manager)
+        ns.pushers[node] = pusher
+        ns.managers[node] = manager
+    ns.agent = CollectAgent("agent", ns.broker, ns.scheduler)
+    ns.agent_manager = OperatorManager(
+        context={"job_source": ns.sim.scheduler}
+    )
+    ns.agent.attach_analytics(ns.agent_manager)
+    ns.run = lambda seconds: ns.scheduler.run_until(
+        ns.scheduler.clock.now + int(seconds * NS_PER_SEC)
+    )
+    return ns
+
+
+class TestMonitoringFlow:
+    def test_all_sensors_reach_storage(self):
+        ns = build_cluster(n_nodes=2, cpus=2)
+        ns.run(10)
+        ns.agent.flush()
+        for node in ns.sim.node_paths:
+            assert ns.agent.storage.count(f"{node}/power") >= 9
+            assert ns.agent.storage.count(f"{node}/cpu00/cpu-cycles") >= 9
+
+    def test_agent_sees_whole_system_pushers_only_local(self):
+        ns = build_cluster(n_nodes=2, cpus=2)
+        ns.run(5)
+        ns.agent.flush()
+        n0, n1 = ns.sim.node_paths
+        assert f"{n1}/power" in ns.agent.sensor_topics()
+        assert f"{n1}/power" not in ns.pushers[n0].sensor_topics()
+
+
+class TestInBandAnalytics:
+    def test_pusher_operator_low_latency_path(self):
+        """Operators in a pusher consume locally sampled data directly."""
+        ns = build_cluster(n_nodes=1, cpus=2)
+        node = ns.sim.node_paths[0]
+        ns.managers[node].load_plugin(
+            {
+                "plugin": "aggregator",
+                "operators": {
+                    "p5": {
+                        "interval_s": 1,
+                        "window_s": 5,
+                        "inputs": ["<bottomup-1>power"],
+                        "outputs": ["<bottomup-1>power-avg5"],
+                        "params": {"op": "mean"},
+                    }
+                },
+            }
+        )
+        ns.run(8)
+        cache = ns.pushers[node].cache_for(f"{node}/power-avg5")
+        assert cache is not None and len(cache) >= 8
+        # Idle node power average is near the idle draw.
+        assert 50 < cache.latest().value < 130
+
+    def test_operator_output_flows_to_agent_storage(self):
+        ns = build_cluster(n_nodes=1, cpus=2)
+        node = ns.sim.node_paths[0]
+        ns.managers[node].load_plugin(
+            {
+                "plugin": "smoother",
+                "operators": {
+                    "sm": {
+                        "interval_s": 1,
+                        "window_s": 3,
+                        "inputs": ["<bottomup-1>temp"],
+                        "outputs": ["<bottomup-1>temp-smooth"],
+                    }
+                },
+            }
+        )
+        ns.run(6)
+        ns.agent.flush()
+        assert ns.agent.storage.count(f"{node}/temp-smooth") >= 5
+
+
+class TestSystemLevelAnalytics:
+    def test_agent_operator_aggregates_across_nodes(self):
+        ns = build_cluster(n_nodes=3, cpus=2)
+        ns.run(3)  # let traffic arrive so units can resolve
+        ns.agent_manager.load_plugin(
+            {
+                "plugin": "aggregator",
+                "operators": {
+                    "syspower": {
+                        "interval_s": 2,
+                        "window_s": 4,
+                        "inputs": ["<bottomup-1>power"],
+                        "outputs": ["<topdown>sys-power-sum"],
+                        "params": {"op": "sum"},
+                    }
+                },
+            }
+        )
+        ns.run(10)
+        ns.agent.flush()
+        rack = ns.sim.topology.rack_paths[0]
+        cache = ns.agent.cache_for(f"{rack}/sys-power-sum")
+        assert cache is not None and len(cache) > 0
+        # Sum over a window pools 3 nodes x several samples; it must be
+        # at least 3x a single idle node's draw.
+        assert cache.latest().value > 3 * 50
+
+    def test_job_operator_follows_scheduler(self):
+        ns = build_cluster(n_nodes=3, cpus=2)
+        ns.sim.scheduler.add_job(
+            Job(
+                "lmp1",
+                "lammps",
+                tuple(ns.sim.node_paths[:2]),
+                2 * NS_PER_SEC,
+                60 * NS_PER_SEC,
+            )
+        )
+        ns.run(3)
+        ns.agent_manager.load_plugin(
+            {
+                "plugin": "persyst",
+                "operators": {
+                    "jobpower": {
+                        "interval_s": 2,
+                        "window_s": 4,
+                        "delay_s": 2,
+                        "inputs": ["power"],
+                        "params": {"quantiles": [0.0, 0.5, 1.0]},
+                    }
+                },
+            }
+        )
+        ns.run(12)
+        ns.agent.flush()
+        cache = ns.agent.cache_for("/jobs/lmp1/decile5")
+        assert cache is not None and len(cache) > 0
+        # LAMMPS nodes run hot: median node power well above idle.
+        assert cache.latest().value > 150
+
+
+class TestRestControlPlane:
+    def test_remote_stop_start_cycle(self):
+        ns = build_cluster(n_nodes=1, cpus=2)
+        node = ns.sim.node_paths[0]
+        ns.managers[node].load_plugin(
+            {
+                "plugin": "aggregator",
+                "operators": {
+                    "a": {
+                        "interval_s": 1,
+                        "window_s": 3,
+                        "inputs": ["<bottomup-1>power"],
+                        "outputs": ["<bottomup-1>pa"],
+                        "params": {"op": "mean"},
+                    }
+                },
+            }
+        )
+        rest = ns.pushers[node].rest
+        ns.run(3)
+        assert rest.put("/analytics/operators/a/stop").ok
+        count = len(ns.pushers[node].cache_for(f"{node}/pa"))
+        ns.run(3)
+        assert len(ns.pushers[node].cache_for(f"{node}/pa")) == count
+        assert rest.put("/analytics/operators/a/start").ok
+        ns.run(3)
+        assert len(ns.pushers[node].cache_for(f"{node}/pa")) > count
+
+
+class TestMultipleCollectAgents:
+    """Plural Collect Agents splitting the sensor space (the paper's
+    architecture diagram shows Pushers fanning into multiple agents)."""
+
+    def test_agents_partition_topic_space(self):
+        ns = build_cluster(n_nodes=2, cpus=2)
+        n0, n1 = ns.sim.node_paths
+        # A second agent scoped to node 1's chassis only.
+        scoped = CollectAgent(
+            "agent2",
+            ns.broker,
+            ns.scheduler,
+            subscribe_pattern=f"{n1}/#",
+        )
+        ns.run(5)
+        ns.agent.flush()
+        scoped.flush()
+        # The catch-all agent stores everything, the scoped one only n1.
+        assert ns.agent.storage.count(f"{n0}/power") >= 4
+        assert ns.agent.storage.count(f"{n1}/power") >= 4
+        assert scoped.storage.count(f"{n0}/power") == 0
+        assert scoped.storage.count(f"{n1}/power") >= 4
+
+    def test_scoped_agent_hosts_its_own_analytics(self):
+        ns = build_cluster(n_nodes=2, cpus=2)
+        n1 = ns.sim.node_paths[1]
+        scoped = CollectAgent(
+            "agent2", ns.broker, ns.scheduler, subscribe_pattern=f"{n1}/#"
+        )
+        manager = OperatorManager()
+        scoped.attach_analytics(manager)
+        ns.run(3)
+        scoped.flush()
+        manager.load_plugin(
+            {
+                "plugin": "aggregator",
+                "operators": {
+                    "scoped-avg": {
+                        "interval_s": 1,
+                        "window_s": 4,
+                        "inputs": ["<bottomup-1>power"],
+                        "outputs": ["<bottomup-1>scoped-avg"],
+                        "params": {"op": "mean"},
+                    }
+                },
+            }
+        )
+        ns.run(6)
+        scoped.flush()
+        # The scoped agent sees exactly one node, so one unit.
+        assert len(manager.operator("scoped-avg").units) == 1
+        assert scoped.storage.count(f"{n1}/scoped-avg") > 0
+
+
+class TestDeterminism:
+    """The whole deployment is a pure function of its seed."""
+
+    def _run_once(self, seed):
+        from repro.deploy import Deployment
+        from repro.simulator import ClusterSpec
+
+        dep = Deployment(
+            ClusterSpec.small(nodes=2, cpus=2),
+            seed=seed,
+            monitoring=("sysfs", "perfevent"),
+            perfevent_counters=("cpu-cycles",),
+        )
+        dep.sim.scheduler.add_job(
+            Job("j", "kripke", tuple(dep.sim.node_paths), NS_PER_SEC,
+                60 * NS_PER_SEC)
+        )
+        node = dep.sim.node_paths[0]
+        dep.managers[node].load_plugin(
+            {
+                "plugin": "aggregator",
+                "operators": {
+                    "a": {
+                        "interval_s": 1,
+                        "window_s": 4,
+                        "inputs": ["<bottomup-1>power"],
+                        "outputs": ["<bottomup-1>pa"],
+                        "params": {"op": "mean"},
+                    }
+                },
+            }
+        )
+        dep.run(30)
+        dep.agent.flush()
+        out = {}
+        for topic in sorted(dep.agent.storage.topics()):
+            ts, values = dep.agent.storage.query(topic, 0, 2**62)
+            out[topic] = (list(ts), list(values))
+        return out
+
+    def test_same_seed_bit_identical(self):
+        assert self._run_once(11) == self._run_once(11)
+
+    def test_different_seed_differs(self):
+        a = self._run_once(11)
+        b = self._run_once(12)
+        assert a.keys() == b.keys()
+        assert a != b

@@ -1,0 +1,168 @@
+"""Tests for the variational Bayesian GMM and the error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.bgmm import BayesianGaussianMixture
+from repro.ml.metrics import (
+    binned_relative_error,
+    mean_relative_error,
+    relative_error,
+)
+
+
+def three_blobs(rng, n=150, spread=0.25):
+    return np.vstack(
+        [
+            rng.normal([0, 0], spread, (n, 2)),
+            rng.normal([5, 5], spread, (n, 2)),
+            rng.normal([0, 5], spread, (n, 2)),
+        ]
+    )
+
+
+class TestBGMM:
+    def test_finds_three_effective_components(self):
+        rng = np.random.default_rng(0)
+        X = three_blobs(rng)
+        m = BayesianGaussianMixture(n_components=10, random_state=1).fit(X)
+        assert len(m.effective_components()) == 3
+        # Effective weights each near 1/3.
+        eff = m.weights_[m.effective_components()]
+        assert np.allclose(eff, 1 / 3, atol=0.05)
+
+    def test_overcapacity_prunes_rather_than_splits(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 1, (300, 2))
+        m = BayesianGaussianMixture(n_components=8, random_state=1).fit(X)
+        assert len(m.effective_components()) <= 2
+
+    def test_predict_labels_consistent_with_blobs(self):
+        rng = np.random.default_rng(3)
+        X = three_blobs(rng)
+        m = BayesianGaussianMixture(n_components=8, random_state=1).fit(X)
+        labels = m.predict(X)
+        # Each blob maps to a single dominant label.
+        for i in range(3):
+            blob = labels[i * 150 : (i + 1) * 150]
+            dominant = np.bincount(blob).max() / len(blob)
+            assert dominant > 0.95
+
+    def test_outlier_mask(self):
+        rng = np.random.default_rng(4)
+        X = three_blobs(rng)
+        m = BayesianGaussianMixture(n_components=8, random_state=1).fit(X)
+        probe = np.array([[0.0, 0.0], [50.0, -50.0]])
+        mask = m.outlier_mask(probe, pdf_threshold=1e-3)
+        assert not mask[0]
+        assert mask[1]
+
+    def test_score_samples_orders_density(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(0, 1, (300, 2))
+        m = BayesianGaussianMixture(n_components=4, random_state=1).fit(X)
+        dense = m.score_samples(np.array([[0.0, 0.0]]))[0]
+        sparse = m.score_samples(np.array([[8.0, 8.0]]))[0]
+        assert dense > sparse
+
+    def test_deterministic_under_seed(self):
+        rng = np.random.default_rng(6)
+        X = three_blobs(rng)
+        a = BayesianGaussianMixture(n_components=6, random_state=9).fit(X)
+        b = BayesianGaussianMixture(n_components=6, random_state=9).fit(X)
+        assert np.allclose(a.weights_, b.weights_)
+
+    def test_moderate_rescaling_preserves_structure(self):
+        # The Wishart prior is data-scaled, so moderate unit changes keep
+        # the recovered structure.  (Extreme anisotropic scaling defeats
+        # the Euclidean k-means init — which is why the clustering
+        # plugin standardizes its features before fitting.)
+        rng = np.random.default_rng(7)
+        X = three_blobs(rng)
+        scaled = X * np.array([10.0, 0.5])
+        m = BayesianGaussianMixture(n_components=8, random_state=1).fit(scaled)
+        assert len(m.effective_components()) == 3
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            BayesianGaussianMixture().fit(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            BayesianGaussianMixture().fit(np.zeros(5))
+        with pytest.raises(ValueError):
+            BayesianGaussianMixture(n_components=0)
+
+    def test_unfitted_access_rejected(self):
+        m = BayesianGaussianMixture()
+        with pytest.raises(RuntimeError):
+            m.predict(np.zeros((1, 2)))
+
+    def test_more_components_than_points(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]])
+        m = BayesianGaussianMixture(n_components=8, random_state=0).fit(X)
+        assert np.isfinite(m.weights_).all()
+
+
+class TestRelativeError:
+    def test_elementwise(self):
+        err = relative_error(np.array([100.0, 200.0]), np.array([110.0, 180.0]))
+        assert err[0] == pytest.approx(0.1)
+        assert err[1] == pytest.approx(0.1)
+
+    def test_zero_actual_is_nan(self):
+        err = relative_error(np.array([0.0]), np.array([1.0]))
+        assert np.isnan(err[0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_error(np.zeros(2), np.zeros(3))
+
+    def test_mean_ignores_nan(self):
+        m = mean_relative_error(
+            np.array([0.0, 100.0]), np.array([5.0, 110.0])
+        )
+        assert m == pytest.approx(0.1)
+
+    def test_mean_all_undefined(self):
+        assert np.isnan(mean_relative_error(np.zeros(3), np.ones(3)))
+
+
+class TestBinnedErrorProfile:
+    def test_profile_shape_and_density(self):
+        rng = np.random.default_rng(0)
+        actual = rng.uniform(100, 200, 1000)
+        predicted = actual * (1 + rng.normal(0, 0.05, 1000))
+        prof = binned_relative_error(actual, predicted, n_bins=10)
+        assert len(prof.bin_centers) == 10
+        assert prof.density.sum() == pytest.approx(1.0)
+        assert prof.counts.sum() == 1000
+
+    def test_rare_bins_show_higher_error(self):
+        # Construct data where rare high values predict badly.
+        rng = np.random.default_rng(1)
+        bulk = rng.uniform(100, 150, 950)
+        rare = rng.uniform(250, 300, 50)
+        actual = np.concatenate([bulk, rare])
+        predicted = np.concatenate(
+            [bulk * 1.05, rare * 0.7]  # 5% vs 30% error
+        )
+        prof = binned_relative_error(actual, predicted, n_bins=8)
+        low_err = prof.mean_error[0]
+        high_err = prof.mean_error[-1]
+        assert high_err > low_err * 3
+
+    def test_empty_bins_are_nan(self):
+        actual = np.array([1.0, 10.0])
+        prof = binned_relative_error(actual, actual, n_bins=5)
+        assert np.isnan(prof.mean_error[2])
+
+    def test_explicit_range(self):
+        actual = np.array([5.0, 6.0])
+        prof = binned_relative_error(
+            actual, actual, n_bins=4, value_range=(0.0, 8.0)
+        )
+        assert prof.bin_centers[0] == 1.0
+
+    def test_degenerate_range(self):
+        actual = np.array([5.0, 5.0])
+        prof = binned_relative_error(actual, actual, n_bins=3)
+        assert np.isfinite(prof.bin_centers).all()

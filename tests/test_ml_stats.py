@@ -1,0 +1,120 @@
+"""Tests for window statistics and streaming accumulators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ml.stats import (
+    FEATURE_NAMES,
+    N_FEATURES,
+    StreamingStats,
+    deciles,
+    feature_matrix,
+    quantiles,
+    window_features,
+)
+
+
+class TestWindowFeatures:
+    def test_feature_vector_shape(self):
+        f = window_features(np.array([1.0, 2.0, 3.0]))
+        assert f.shape == (N_FEATURES,)
+        assert len(FEATURE_NAMES) == N_FEATURES
+
+    def test_values(self):
+        f = window_features(np.array([1.0, 2.0, 3.0, 4.0]))
+        named = dict(zip(FEATURE_NAMES, f))
+        assert named["mean"] == pytest.approx(2.5)
+        assert named["min"] == 1.0
+        assert named["max"] == 4.0
+        assert named["last"] == 4.0
+        assert named["median"] == pytest.approx(2.5)
+        assert named["slope"] == pytest.approx(1.0)  # rises 1 per sample
+        assert named["p25"] == pytest.approx(1.75)
+        assert named["p75"] == pytest.approx(3.25)
+
+    def test_constant_window_zero_slope_std(self):
+        f = dict(zip(FEATURE_NAMES, window_features(np.full(5, 7.0))))
+        assert f["std"] == 0.0
+        assert f["slope"] == 0.0
+
+    def test_single_element(self):
+        f = dict(zip(FEATURE_NAMES, window_features(np.array([3.0]))))
+        assert f["mean"] == 3.0
+        assert f["std"] == 0.0
+        assert f["slope"] == 0.0
+
+    def test_empty_is_nan(self):
+        assert np.isnan(window_features(np.array([]))).all()
+
+    def test_feature_matrix_concatenates(self):
+        m = feature_matrix([np.array([1.0, 2.0]), np.array([3.0])])
+        assert m.shape == (2 * N_FEATURES,)
+
+
+class TestQuantiles:
+    def test_deciles_count(self):
+        d = deciles(np.arange(101, dtype=float))
+        assert len(d) == 11
+        assert d[0] == 0.0
+        assert d[5] == 50.0
+        assert d[10] == 100.0
+
+    def test_quantiles_arbitrary(self):
+        q = quantiles(np.arange(11, dtype=float), [0.25, 0.75])
+        assert q[0] == pytest.approx(2.5)
+        assert q[1] == pytest.approx(7.5)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(quantiles(np.array([]), [0.5])).all()
+
+    def test_nan_inputs_ignored(self):
+        q = quantiles(np.array([1.0, np.nan, 3.0]), [0.5])
+        assert q[0] == pytest.approx(2.0)
+
+    def test_all_nan_is_nan(self):
+        assert np.isnan(quantiles(np.array([np.nan]), [0.5])).all()
+
+
+class TestStreamingStats:
+    def test_empty(self):
+        s = StreamingStats()
+        assert s.count == 0
+        assert math.isnan(s.mean)
+        assert math.isnan(s.std)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5, 2, 500)
+        s = StreamingStats()
+        s.push_many(data)
+        assert s.mean == pytest.approx(data.mean())
+        assert s.std == pytest.approx(data.std(), rel=1e-9)
+        assert s.minimum == data.min()
+        assert s.maximum == data.max()
+        assert s.last == data[-1]
+
+    def test_merge_equals_combined(self):
+        rng = np.random.default_rng(1)
+        a_data, b_data = rng.normal(0, 1, 100), rng.normal(3, 2, 150)
+        a, b = StreamingStats(), StreamingStats()
+        a.push_many(a_data)
+        b.push_many(b_data)
+        merged = a.merge(b)
+        combined = np.concatenate([a_data, b_data])
+        assert merged.count == 250
+        assert merged.mean == pytest.approx(combined.mean())
+        assert merged.std == pytest.approx(combined.std(), rel=1e-9)
+        assert merged.minimum == combined.min()
+
+    def test_merge_with_empty(self):
+        a = StreamingStats()
+        a.push(1.0)
+        merged = a.merge(StreamingStats())
+        assert merged.count == 1
+        assert merged.mean == 1.0
+        assert merged.last == 1.0
+
+    def test_merge_two_empty(self):
+        assert StreamingStats().merge(StreamingStats()).count == 0

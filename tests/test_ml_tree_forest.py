@@ -1,0 +1,198 @@
+"""Tests for the CART trees and random forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+@pytest.fixture
+def regression_data():
+    rng = np.random.default_rng(0)
+    X = rng.random((600, 4))
+    y = 3.0 * X[:, 0] - 2.0 * X[:, 1] + 0.05 * rng.standard_normal(600)
+    return X[:450], y[:450], X[450:], y[450:]
+
+
+@pytest.fixture
+def classification_data():
+    rng = np.random.default_rng(1)
+    X = rng.random((600, 3))
+    y = (X[:, 0] + X[:, 2] > 1.0).astype(int)
+    return X[:450], y[:450], X[450:], y[450:]
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_step_function_exactly(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert list(tree.predict(X)) == [0.0, 0.0, 10.0, 10.0]
+
+    def test_generalises(self, regression_data):
+        Xtr, ytr, Xte, yte = regression_data
+        tree = DecisionTreeRegressor(max_depth=10, random_state=0).fit(Xtr, ytr)
+        rmse = np.sqrt(np.mean((tree.predict(Xte) - yte) ** 2))
+        assert rmse < 0.5
+
+    def test_max_depth_bounds_nodes(self):
+        X = np.random.default_rng(2).random((200, 2))
+        y = X[:, 0]
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        assert shallow.n_nodes <= 7
+        assert deep.n_nodes > shallow.n_nodes
+
+    def test_min_samples_leaf(self):
+        X = np.arange(10, dtype=float)[:, None]
+        y = np.arange(10, dtype=float)
+        tree = DecisionTreeRegressor(min_samples_leaf=5).fit(X, y)
+        # Only one split possible (5|5).
+        assert tree.n_nodes == 3
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(3).random((50, 2))
+        tree = DecisionTreeRegressor().fit(X, np.full(50, 4.2))
+        assert tree.n_nodes == 1
+        assert np.allclose(tree.predict(X), 4.2)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+
+    def test_predict_validates_features(self):
+        tree = DecisionTreeRegressor().fit(np.zeros((4, 2)), np.arange(4.0))
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((3, 5)))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((1, 1)))
+
+    def test_deterministic_under_seed(self, regression_data):
+        Xtr, ytr, Xte, _ = regression_data
+        a = DecisionTreeRegressor(max_features=2, random_state=5).fit(Xtr, ytr)
+        b = DecisionTreeRegressor(max_features=2, random_state=5).fit(Xtr, ytr)
+        assert (a.predict(Xte) == b.predict(Xte)).all()
+
+
+class TestDecisionTreeClassifier:
+    def test_fits_simple_rule(self, classification_data):
+        Xtr, ytr, Xte, yte = classification_data
+        tree = DecisionTreeClassifier(max_depth=8, random_state=0).fit(Xtr, ytr)
+        acc = (tree.predict(Xte) == yte).mean()
+        assert acc > 0.9
+
+    def test_predict_proba_sums_to_one(self, classification_data):
+        Xtr, ytr, Xte, _ = classification_data
+        tree = DecisionTreeClassifier(random_state=0).fit(Xtr, ytr)
+        proba = tree.predict_proba(Xte)
+        assert proba.shape == (len(Xte), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_explicit_n_classes(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 0])
+        tree = DecisionTreeClassifier(n_classes=3).fit(X, y)
+        assert tree.predict_proba(X).shape == (2, 3)
+
+    def test_label_outside_declared_classes(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(n_classes=2).fit(
+                np.zeros((3, 1)), np.array([0, 1, 2])
+            )
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((2, 1)), np.array([-1, 0]))
+
+
+class TestRandomForestRegressor:
+    def test_beats_or_matches_single_tree(self, regression_data):
+        Xtr, ytr, Xte, yte = regression_data
+        tree = DecisionTreeRegressor(max_depth=6, random_state=0).fit(Xtr, ytr)
+        # Compare with all features per split so bagging is the only
+        # difference between the two models.
+        forest = RandomForestRegressor(
+            n_estimators=20, max_depth=6, max_features=None, random_state=0
+        ).fit(Xtr, ytr)
+        tree_rmse = np.sqrt(np.mean((tree.predict(Xte) - yte) ** 2))
+        forest_rmse = np.sqrt(np.mean((forest.predict(Xte) - yte) ** 2))
+        assert forest_rmse <= tree_rmse * 1.05
+
+    def test_deterministic_under_seed(self, regression_data):
+        Xtr, ytr, Xte, _ = regression_data
+        a = RandomForestRegressor(n_estimators=5, random_state=7).fit(Xtr, ytr)
+        b = RandomForestRegressor(n_estimators=5, random_state=7).fit(Xtr, ytr)
+        assert (a.predict(Xte) == b.predict(Xte)).all()
+
+    def test_is_fitted_flag(self):
+        f = RandomForestRegressor(n_estimators=2)
+        assert not f.is_fitted
+        f.fit(np.zeros((4, 1)), np.arange(4.0))
+        assert f.is_fitted
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 1)))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.zeros((0, 1)), np.zeros(0))
+
+    def test_bad_estimator_count(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+    @pytest.mark.parametrize("mf", ["sqrt", "third", None, 2])
+    def test_max_features_modes(self, mf, regression_data):
+        Xtr, ytr, Xte, _ = regression_data
+        f = RandomForestRegressor(
+            n_estimators=3, max_features=mf, random_state=0
+        ).fit(Xtr, ytr)
+        assert np.isfinite(f.predict(Xte)).all()
+
+    def test_bad_max_features(self):
+        f = RandomForestRegressor(max_features="lots")
+        with pytest.raises(ValueError):
+            f.fit(np.zeros((4, 2)), np.arange(4.0))
+
+    def test_no_bootstrap_mode(self, regression_data):
+        Xtr, ytr, Xte, yte = regression_data
+        f = RandomForestRegressor(
+            n_estimators=5, bootstrap=False, random_state=0
+        ).fit(Xtr, ytr)
+        rmse = np.sqrt(np.mean((f.predict(Xte) - yte) ** 2))
+        assert rmse < 0.5
+
+
+class TestRandomForestClassifier:
+    def test_accuracy(self, classification_data):
+        Xtr, ytr, Xte, yte = classification_data
+        f = RandomForestClassifier(
+            n_estimators=15, max_depth=8, random_state=0
+        ).fit(Xtr, ytr)
+        assert (f.predict(Xte) == yte).mean() > 0.92
+
+    def test_proba_shape(self, classification_data):
+        Xtr, ytr, Xte, _ = classification_data
+        f = RandomForestClassifier(n_estimators=5, random_state=0).fit(Xtr, ytr)
+        proba = f.predict_proba(Xte)
+        assert proba.shape == (len(Xte), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_bootstrap_missing_class_handled(self):
+        # Tiny skewed dataset: some bootstrap resamples will miss class 1.
+        rng = np.random.default_rng(5)
+        X = rng.random((20, 2))
+        y = np.zeros(20, dtype=int)
+        y[:2] = 1
+        f = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        assert f.predict_proba(X).shape == (20, 2)

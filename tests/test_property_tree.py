@@ -1,0 +1,128 @@
+"""Property-based tests: sensor tree and pattern-unit resolution."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pattern import PatternExpression
+from repro.core.tree import SensorTree
+from repro.core.units import UnitResolver
+
+# Random balanced hierarchies: counts per level, sensors at the leaves.
+hierarchy = st.tuples(
+    st.integers(1, 3),  # racks
+    st.integers(1, 3),  # nodes per rack
+    st.integers(1, 4),  # cpus per node
+)
+
+
+def build_topics(shape):
+    racks, nodes, cpus = shape
+    topics = []
+    for r in range(racks):
+        topics.append(f"/r{r}/rpower")
+        for n in range(nodes):
+            topics.append(f"/r{r}/n{n}/npower")
+            for c in range(cpus):
+                topics.append(f"/r{r}/n{n}/cpu{c}/cycles")
+    return topics
+
+
+class TestTreeInvariants:
+    @given(shape=hierarchy)
+    def test_sensor_count_and_levels(self, shape):
+        racks, nodes, cpus = shape
+        tree = SensorTree.from_topics(build_topics(shape))
+        assert tree.n_sensors == racks + racks * nodes + racks * nodes * cpus
+        assert tree.max_level == 2
+        assert len(tree.nodes_at_level(0)) == racks
+        assert len(tree.nodes_at_level(1)) == racks * nodes
+        assert len(tree.nodes_at_level(2)) == racks * nodes * cpus
+
+    @given(shape=hierarchy)
+    def test_every_topic_findable(self, shape):
+        topics = build_topics(shape)
+        tree = SensorTree.from_topics(topics)
+        for t in topics:
+            assert tree.has_sensor(t)
+        assert sorted(tree.all_sensor_topics()) == sorted(topics)
+
+    @given(shape=hierarchy)
+    def test_add_remove_roundtrip(self, shape):
+        topics = build_topics(shape)
+        tree = SensorTree.from_topics(topics)
+        for t in topics:
+            assert tree.remove_sensor(t)
+        assert tree.n_sensors == 0
+        assert tree.all_sensor_topics() == []
+
+    @given(shape=hierarchy)
+    def test_topdown_bottomup_symmetry(self, shape):
+        tree = SensorTree.from_topics(build_topics(shape))
+        depth = tree.max_level
+        for k in range(depth + 1):
+            td = tree.resolve_level("topdown", k)
+            bu = tree.resolve_level("bottomup", depth - k)
+            assert td == bu == k
+
+
+class TestResolutionInvariants:
+    @given(shape=hierarchy)
+    def test_one_unit_per_output_domain_node(self, shape):
+        racks, nodes, cpus = shape
+        tree = SensorTree.from_topics(build_topics(shape))
+        units = UnitResolver(
+            ["<bottomup>cycles"], ["<bottomup-1>health"]
+        ).resolve(tree)
+        assert len(units) == racks * nodes
+        assert len({u.name for u in units}) == len(units)
+
+    @given(shape=hierarchy)
+    def test_inputs_always_related_to_unit(self, shape):
+        tree = SensorTree.from_topics(build_topics(shape))
+        units = UnitResolver(
+            ["<topdown>rpower", "<bottomup>cycles"], ["<bottomup-1>health"]
+        ).resolve(tree)
+        for unit in units:
+            for topic in unit.inputs:
+                comp = topic.rsplit("/", 1)[0]
+                assert (
+                    comp == unit.name
+                    or unit.name.startswith(comp + "/")
+                    or comp.startswith(unit.name + "/")
+                )
+
+    @given(shape=hierarchy)
+    def test_input_counts_match_structure(self, shape):
+        racks, nodes, cpus = shape
+        tree = SensorTree.from_topics(build_topics(shape))
+        units = UnitResolver(
+            ["<topdown>rpower", "<bottomup>cycles"], ["<bottomup-1>health"]
+        ).resolve(tree)
+        for unit in units:
+            # one rack power + that node's cpus
+            assert len(unit.inputs) == 1 + cpus
+
+    @given(shape=hierarchy)
+    def test_resolve_for_name_matches_bulk_resolution(self, shape):
+        tree = SensorTree.from_topics(build_topics(shape))
+        resolver = UnitResolver(["<bottomup>cycles"], ["<bottomup-1>health"])
+        units = {u.name: u for u in resolver.resolve(tree)}
+        for name, unit in units.items():
+            single = resolver.resolve_for_name(tree, name)
+            assert sorted(single.inputs) == sorted(unit.inputs)
+            assert [s.topic for s in single.outputs] == [
+                s.topic for s in unit.outputs
+            ]
+
+
+class TestPatternRoundtrip:
+    @given(
+        anchor=st.sampled_from(["topdown", "bottomup"]),
+        offset=st.integers(0, 9),
+        sensor=st.from_regex(r"[a-z][a-z0-9-]{0,10}", fullmatch=True),
+    )
+    def test_str_parse_roundtrip(self, anchor, offset, sensor):
+        sign = "+" if anchor == "topdown" else "-"
+        text = f"<{anchor}{sign}{offset}>{sensor}" if offset else f"<{anchor}>{sensor}"
+        expr = PatternExpression.parse(text)
+        assert PatternExpression.parse(str(expr)) == expr

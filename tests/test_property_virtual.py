@@ -1,0 +1,68 @@
+"""Property-based tests for virtual-sensor expressions."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dcdb.virtual import Binary, Const, Ref, Unary, parse_expression
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+
+
+def expression_trees(max_depth=4):
+    """Random expression ASTs paired with their textual form."""
+    leaves = st.one_of(
+        finite.map(lambda v: (Const(abs(v)), f"{abs(v)!r}")),
+        st.sampled_from(["/a", "/b", "/c"]).map(
+            lambda t: (Ref(t), f"<{t}>")
+        ),
+    )
+
+    def extend(children):
+        ops = st.sampled_from("+-*/")
+        return st.one_of(
+            st.tuples(children, ops, children).map(
+                lambda t: (
+                    Binary(t[1], t[0][0], t[2][0]),
+                    f"({t[0][1]} {t[1]} {t[2][1]})",
+                )
+            ),
+            children.map(lambda c: (Unary(c[0]), f"(-{c[1]})")),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+INPUTS = {
+    "/a": np.array([1.0, 2.0, 3.0]),
+    "/b": np.array([4.0, 5.0, 6.0]),
+    "/c": np.array([-1.0, 0.5, 2.0]),
+}
+
+
+class TestExpressionProperties:
+    @given(tree_text=expression_trees())
+    def test_parse_of_rendered_form_evaluates_identically(self, tree_text):
+        tree, text = tree_text
+        parsed = parse_expression(text)
+        with np.errstate(all="ignore"):
+            expected = tree.eval(INPUTS)
+            got = parsed.eval(INPUTS)
+        expected = np.broadcast_to(np.asarray(expected, dtype=float), (3,))
+        got = np.broadcast_to(np.asarray(got, dtype=float), (3,))
+        same = (got == expected) | (np.isnan(got) & np.isnan(expected))
+        assert same.all()
+
+    @given(tree_text=expression_trees())
+    def test_topics_subset_of_known(self, tree_text):
+        tree, text = tree_text
+        assert set(parse_expression(text).topics()) <= set(INPUTS)
+
+    @given(a=finite, b=finite)
+    def test_arithmetic_matches_python(self, a, b):
+        ctx = {"/a": np.float64(a), "/b": np.float64(b)}
+        assert parse_expression("</a> + </b>").eval(ctx) == a + b
+        assert parse_expression("</a> - </b>").eval(ctx) == a - b
+        assert parse_expression("</a> * </b>").eval(ctx) == np.float64(a) * b

@@ -1,0 +1,74 @@
+"""Tests for cluster topology construction."""
+
+import pytest
+
+from repro.simulator.cluster import ClusterSpec, ClusterTopology
+
+
+class TestClusterSpec:
+    def test_default_is_coolmuc3_like(self):
+        spec = ClusterSpec.coolmuc3()
+        assert spec.total_nodes == 148
+        assert spec.cpus_per_node == 64
+
+    def test_small_factory(self):
+        spec = ClusterSpec.small(nodes=3, cpus=2)
+        assert spec.total_nodes == 3
+        assert spec.cpus_per_node == 2
+
+    def test_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(racks=1, chassis_per_rack=1, nodes_per_chassis=2,
+                        total_nodes=3)
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(racks=0, total_nodes=1)
+
+
+class TestClusterTopology:
+    def test_node_count(self):
+        topo = ClusterTopology(ClusterSpec.coolmuc3())
+        assert topo.n_nodes == 148
+        assert topo.n_cpus == 148 * 64
+
+    def test_truncation_within_grid(self):
+        # 148 nodes over a 5x5x6 grid: last chassis partially filled.
+        topo = ClusterTopology(ClusterSpec.coolmuc3())
+        assert len(topo.rack_paths) == 5
+        assert len(topo.node_paths) == 148
+        assert len(set(topo.node_paths)) == 148
+
+    def test_paths_are_hierarchical(self):
+        topo = ClusterTopology(ClusterSpec.small(nodes=2, cpus=2))
+        node = topo.node_paths[0]
+        assert node.startswith("/rack00/chassis00/")
+        cpus = topo.cpus_of_node[node]
+        assert cpus == [f"{node}/cpu00", f"{node}/cpu01"]
+
+    def test_node_index_lookup(self):
+        topo = ClusterTopology(ClusterSpec.small(nodes=3, cpus=1))
+        for i, path in enumerate(topo.node_paths):
+            assert topo.node_index[path] == i
+
+    def test_node_of_cpu(self):
+        topo = ClusterTopology(ClusterSpec.small(nodes=1, cpus=2))
+        node = topo.node_paths[0]
+        assert topo.node_of_cpu(f"{node}/cpu01") == node
+
+    def test_iter_cpu_paths_is_node_major(self):
+        topo = ClusterTopology(ClusterSpec.small(nodes=2, cpus=2))
+        paths = list(topo.iter_cpu_paths())
+        assert len(paths) == 4
+        assert paths[0].startswith(topo.node_paths[0])
+        assert paths[-1].startswith(topo.node_paths[1])
+
+    def test_empty_containers_excluded(self):
+        # A spec using only part of the grid should not list unused racks.
+        spec = ClusterSpec(
+            racks=3, chassis_per_rack=2, nodes_per_chassis=2,
+            cpus_per_node=1, total_nodes=4,
+        )
+        topo = ClusterTopology(spec)
+        assert len(topo.rack_paths) == 1
+        assert len(topo.chassis_paths) == 2

@@ -1,0 +1,126 @@
+"""Tests for the cluster simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.common.timeutil import NS_PER_SEC
+from repro.simulator import ClusterSimulator, ClusterSpec
+from repro.simulator.engine import CPU_COUNTERS
+
+
+@pytest.fixture
+def sim():
+    return ClusterSimulator(ClusterSpec.small(nodes=2, cpus=4), seed=9)
+
+
+class TestCounters:
+    def test_counters_monotonic(self, sim):
+        node = sim.node_paths[0]
+        prev = 0.0
+        for t in range(1, 6):
+            v = sim.read_cpu_counter(node, 0, "cpu-cycles", t * NS_PER_SEC)
+            assert v >= prev
+            prev = v
+
+    def test_all_counters_exposed(self, sim):
+        node = sim.node_paths[0]
+        for counter in CPU_COUNTERS:
+            v = sim.read_cpu_counter(node, 1, counter, NS_PER_SEC)
+            assert np.isfinite(v)
+
+    def test_vectorised_read_matches_scalar(self, sim):
+        node = sim.node_paths[0]
+        all_vals = sim.read_cpu_counters(node, "instructions", 2 * NS_PER_SEC)
+        single = sim.read_cpu_counter(node, 2, "instructions", 2 * NS_PER_SEC)
+        assert all_vals[2] == single
+
+    def test_backwards_sampling_rejected(self, sim):
+        node = sim.node_paths[0]
+        sim.read_node(node, "power", 5 * NS_PER_SEC)
+        with pytest.raises(ValueError):
+            sim.read_node(node, "power", 4 * NS_PER_SEC)
+
+    def test_same_timestamp_idempotent(self, sim):
+        node = sim.node_paths[0]
+        a = sim.read_cpu_counter(node, 0, "flops", 3 * NS_PER_SEC)
+        b = sim.read_cpu_counter(node, 0, "flops", 3 * NS_PER_SEC)
+        assert a == b
+
+
+class TestNodeSensors:
+    def test_gauges_present(self, sim):
+        node = sim.node_paths[0]
+        for name in ("power", "temp", "memfree", "freq"):
+            assert np.isfinite(sim.read_node(node, name, NS_PER_SEC))
+
+    def test_counters_present(self, sim):
+        node = sim.node_paths[0]
+        sim.read_node(node, "power", NS_PER_SEC)
+        for name in ("energy", "idle-time", "xmit-bytes", "rcv-bytes"):
+            assert sim.read_node(node, name, NS_PER_SEC) >= 0.0
+
+    def test_unknown_sensor_raises(self, sim):
+        with pytest.raises(KeyError):
+            sim.read_node(sim.node_paths[0], "quux", NS_PER_SEC)
+
+    def test_idle_node_low_power(self, sim):
+        node = sim.node_paths[0]
+        p = sim.read_node(node, "power", 10 * NS_PER_SEC)
+        assert p < 120  # no job scheduled: near idle power
+
+
+class TestJobsDriveLoad:
+    def test_job_raises_power_and_counters(self):
+        sim = ClusterSimulator(ClusterSpec.small(nodes=2, cpus=4), seed=9)
+        node = sim.node_paths[0]
+        other = sim.node_paths[1]
+        sim.scheduler.add_job(
+            __import__("repro.simulator.scheduler", fromlist=["Job"]).Job(
+                "j1", "hpl", (node,), 0, 600 * NS_PER_SEC
+            )
+        )
+        # sample both nodes over a minute
+        for t in range(0, 61, 10):
+            sim.read_node(node, "power", t * NS_PER_SEC)
+            sim.read_node(other, "power", t * NS_PER_SEC)
+        busy = sim.read_node(node, "power", 70 * NS_PER_SEC)
+        idle = sim.read_node(other, "power", 70 * NS_PER_SEC)
+        assert busy > idle + 80
+        busy_instr = sim.read_cpu_counter(node, 0, "instructions", 71 * NS_PER_SEC)
+        idle_instr = sim.read_cpu_counter(other, 0, "instructions", 71 * NS_PER_SEC)
+        assert busy_instr > idle_instr * 5
+        assert sim.current_job(node) == "j1"
+        assert sim.current_job(other) is None
+
+    def test_job_end_returns_to_idle(self):
+        from repro.simulator.scheduler import Job
+
+        sim = ClusterSimulator(ClusterSpec.small(nodes=1, cpus=4), seed=9)
+        node = sim.node_paths[0]
+        sim.scheduler.add_job(Job("j1", "hpl", (node,), 0, 30 * NS_PER_SEC))
+        sim.read_node(node, "power", 10 * NS_PER_SEC)
+        assert sim.current_job(node) == "j1"
+        sim.read_node(node, "power", 40 * NS_PER_SEC)
+        assert sim.current_job(node) is None
+
+    def test_anomalous_node_draws_more_power(self):
+        spec = ClusterSpec.small(nodes=2, cpus=4)
+        plain = ClusterSimulator(spec, seed=9)
+        node = plain.node_paths[0]
+        hot = ClusterSimulator(spec, seed=9, anomalies={node: 1.2})
+        p_plain = np.mean(
+            [plain.read_node(node, "power", t * NS_PER_SEC) for t in range(30)]
+        )
+        p_hot = np.mean(
+            [hot.read_node(node, "power", t * NS_PER_SEC) for t in range(30)]
+        )
+        assert p_hot == pytest.approx(p_plain * 1.2, rel=0.05)
+
+    def test_determinism_across_instances(self):
+        a = ClusterSimulator(ClusterSpec.small(nodes=2, cpus=2), seed=5)
+        b = ClusterSimulator(ClusterSpec.small(nodes=2, cpus=2), seed=5)
+        node = a.node_paths[0]
+        for t in range(5):
+            assert a.read_node(node, "power", t * NS_PER_SEC) == b.read_node(
+                node, "power", t * NS_PER_SEC
+            )

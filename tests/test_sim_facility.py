@@ -1,0 +1,116 @@
+"""Tests for the facility cooling substrate."""
+
+import numpy as np
+import pytest
+
+from repro.common.timeutil import NS_PER_SEC
+from repro.dcdb import Broker, Pusher
+from repro.simulator import (
+    ClusterSimulator,
+    ClusterSpec,
+    CoolingParams,
+    CoolingSystem,
+    FacilityPlugin,
+)
+from repro.simulator.clock import TaskScheduler
+from repro.simulator.scheduler import Job
+
+
+@pytest.fixture
+def rig():
+    class NS:
+        pass
+
+    ns = NS()
+    ns.sim = ClusterSimulator(ClusterSpec.small(nodes=2, cpus=4), seed=7)
+    ns.cooling = CoolingSystem(ns.sim)
+    return ns
+
+
+def drive(ns, seconds, step_s=10):
+    """Advance nodes and the cooling loop together."""
+    start = ns.cooling._last_ts if ns.cooling._last_ts > 0 else 0
+    for t in range(int(start / NS_PER_SEC) + step_s,
+                   int(start / NS_PER_SEC) + seconds + 1, step_s):
+        ts = t * NS_PER_SEC
+        for node in ns.sim.node_paths:
+            ns.sim.read_node(node, "power", ts)
+        ns.cooling.update(ts)
+
+
+class TestCoolingDynamics:
+    def test_inlet_tracks_setpoint_plus_load(self, rig):
+        drive(rig, 600)
+        p = rig.cooling.params
+        expected = rig.cooling.setpoint_c + p.load_c_per_w * rig.cooling.it_power_w
+        assert rig.cooling.inlet_temp_c == pytest.approx(expected, abs=0.5)
+
+    def test_load_raises_inlet_temperature(self, rig):
+        drive(rig, 300)
+        idle_inlet = rig.cooling.inlet_temp_c
+        rig.sim.scheduler.add_job(
+            Job("hot", "hpl", tuple(rig.sim.node_paths),
+                310 * NS_PER_SEC, 2000 * NS_PER_SEC)
+        )
+        drive(rig, 900)
+        assert rig.cooling.inlet_temp_c > idle_inlet
+
+    def test_setpoint_knob_clamped(self, rig):
+        assert rig.cooling.set_setpoint(80.0) == rig.cooling.params.setpoint_max_c
+        assert rig.cooling.set_setpoint(0.0) == rig.cooling.params.setpoint_min_c
+        assert rig.cooling.setpoint_changes[-1][1] == 30.0
+
+    def test_higher_setpoint_cheaper_cooling(self, rig):
+        drive(rig, 100)
+        rig.cooling.set_setpoint(30.0)
+        rig.cooling.update(200 * NS_PER_SEC)
+        cold = rig.cooling.chiller_power_w
+        rig.cooling.set_setpoint(50.0)
+        rig.cooling.update(210 * NS_PER_SEC)
+        warm = rig.cooling.chiller_power_w
+        assert warm < cold
+
+    def test_nodes_follow_inlet_temperature(self, rig):
+        node = rig.sim.node_paths[0]
+        drive(rig, 600)
+        cool_temp = rig.sim.read_node(node, "temp", 610 * NS_PER_SEC)
+        rig.cooling.set_setpoint(50.0)
+        drive(rig, 900)
+        warm_temp = rig.sim.read_node(node, "temp", 1520 * NS_PER_SEC)
+        assert warm_temp > cool_temp + 3.0
+
+    def test_total_facility_power(self, rig):
+        drive(rig, 60)
+        total = rig.cooling.total_facility_power_w
+        assert total == pytest.approx(
+            rig.cooling.it_power_w + rig.cooling.chiller_power_w
+        )
+        assert total > rig.cooling.it_power_w
+
+    def test_backwards_time_rejected(self, rig):
+        rig.cooling.update(10 * NS_PER_SEC)
+        with pytest.raises(ValueError):
+            rig.cooling.update(5 * NS_PER_SEC)
+
+
+class TestFacilityPlugin:
+    def test_sensors_published(self):
+        sim = ClusterSimulator(ClusterSpec.small(nodes=2, cpus=2), seed=1)
+        cooling = CoolingSystem(sim)
+        scheduler = TaskScheduler()
+        broker = Broker()
+        pusher = Pusher("facility", broker, scheduler)
+        pusher.add_plugin(FacilityPlugin(cooling, interval_ns=NS_PER_SEC))
+        scheduler.run_until(5 * NS_PER_SEC)
+        for name in ("inlet-temp", "setpoint", "chiller-power", "it-power"):
+            cache = pusher.cache_for(f"/facility/cooling/{name}")
+            assert cache is not None and len(cache) == 6
+
+    def test_sampling_advances_the_loop(self):
+        sim = ClusterSimulator(ClusterSpec.small(nodes=1, cpus=2), seed=1)
+        cooling = CoolingSystem(sim)
+        scheduler = TaskScheduler()
+        pusher = Pusher("facility", Broker(), scheduler)
+        pusher.add_plugin(FacilityPlugin(cooling, interval_ns=NS_PER_SEC))
+        scheduler.run_until(3 * NS_PER_SEC)
+        assert cooling._last_ts == 3 * NS_PER_SEC
