@@ -21,6 +21,12 @@ declarative deployment file (see :mod:`repro.deploy`):
     Run, then print a full deployment report: topology, traffic,
     operators, and sparklines of the busiest sensors.
 
+``python -m repro.cli metrics --config dep.json --duration 60``
+    Run, then print a host's telemetry registry via its ``GET /metrics``
+    REST route (JSON, ``--format prometheus`` text exposition, or
+    ``--report`` for a Fig 5-style overhead summary).  ``--host``
+    selects a pusher by node path; the default is the Collect Agent.
+
 ``run --snapshot out.npz`` additionally archives the Collect Agent's
 storage to a compressed file loadable with ``StorageBackend.load``.
 """
@@ -114,6 +120,18 @@ def cmd_report(args) -> int:
             f"{stats['errors']} errors, "
             f"{stats['busy_ns'] / 1e6:.1f} ms busy"
         )
+    print("\n## Telemetry (Collect Agent)")
+    qe_total = 0
+    for name in ("qe_cache_hits_total", "qe_storage_fallbacks_total",
+                 "qe_misses_total"):
+        metric = dep.agent.telemetry.get(name)
+        value = metric.value if metric is not None else 0
+        qe_total += value
+        print(f"- {name}: {value}")
+    drain = dep.agent.telemetry.get("drain_latency_ns")
+    if drain is not None and drain.count:
+        print(f"- ingest drains: {drain.count}, "
+              f"mean {drain.mean / 1e3:.1f} us")
     print("\n## Busiest sensors")
     counts = [
         (dep.agent.storage.count(t), t) for t in dep.agent.storage.topics()
@@ -150,6 +168,42 @@ def cmd_query(args) -> int:
     if args.tail:
         for t, v in list(zip(ts, values))[-args.tail:]:
             print(f"  {t:10.2f}s  {v:.4f}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """`metrics`: print a host's telemetry (via its /metrics REST route)."""
+    from repro.common.timeutil import NS_PER_SEC
+    from repro.telemetry import format_overhead_report, overhead_report
+
+    dep = _build_and_run(args)
+    if args.host in (None, "agent"):
+        host_name, host = "agent", dep.agent
+    else:
+        host = dep.pushers.get(args.host)
+        if host is None:
+            known = ", ".join(sorted(dep.pushers))
+            print(f"no pusher {args.host!r}; known hosts: agent, {known}",
+                  file=sys.stderr)
+            return 1
+        host_name = args.host
+    if args.report:
+        report = overhead_report(
+            host.telemetry, elapsed_ns=int(args.duration * NS_PER_SEC)
+        )
+        print(format_overhead_report(report, name=host_name))
+        return 0
+    params = {"format": args.format}
+    if args.match:
+        params["match"] = args.match
+    resp = host.rest.get("/metrics", **params)
+    if not resp.ok:
+        print(f"GET /metrics failed: {resp.body}", file=sys.stderr)
+        return 1
+    if args.format == "prometheus":
+        sys.stdout.write(resp.body["exposition"])
+    else:
+        print(json.dumps(resp.body["metrics"], indent=2))
     return 0
 
 
@@ -226,6 +280,22 @@ def make_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--tail", type=int, default=0,
                          help="also print the last N readings")
     p_query.set_defaults(fn=cmd_query)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="print a host's telemetry registry"
+    )
+    add_common(p_metrics)
+    p_metrics.add_argument("--host", default=None,
+                           help="'agent' (default) or a pusher node path")
+    p_metrics.add_argument("--format", choices=("json", "prometheus"),
+                           default="json",
+                           help="output representation (default json)")
+    p_metrics.add_argument("--match",
+                           help="regex filter on metric names")
+    p_metrics.add_argument("--report", action="store_true",
+                           help="print a Fig 5-style overhead summary "
+                                "instead of raw series")
+    p_metrics.set_defaults(fn=cmd_metrics)
 
     p_plugins = sub.add_parser("plugins", help="list operator plugins")
     p_plugins.set_defaults(fn=cmd_plugins)

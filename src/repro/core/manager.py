@@ -18,6 +18,7 @@ from repro.core.configurator import Configurator
 from repro.core.operator import JobOperatorBase, OperatorBase
 from repro.core.queryengine import QueryEngine
 from repro.dcdb.restapi import RestResponse
+from repro.telemetry import MetricRegistry
 
 
 class OperatorManager:
@@ -36,7 +37,13 @@ class OperatorManager:
         self._operators: Dict[str, OperatorBase] = {}
         self._plugin_of: Dict[str, str] = {}
         self._tasks: Dict[str, object] = {}
-        self.analytics_busy_ns = 0
+        self._telemetry = MetricRegistry()
+        self._m_busy = self._telemetry.counter("analytics_busy_ns_total")
+
+    @property
+    def analytics_busy_ns(self) -> int:
+        """Wall-clock ns spent in operator computations on this host."""
+        return self._m_busy.value
 
     # ------------------------------------------------------------------
     # Host binding
@@ -46,6 +53,11 @@ class OperatorManager:
         """Attach to a Pusher or Collect Agent (its ``attach_analytics``
         calls this)."""
         self.host = host
+        registry = getattr(host, "telemetry", None)
+        if registry is not None and registry is not self._telemetry:
+            registry.absorb(self._telemetry)
+            self._telemetry = registry
+            self._m_busy = registry.counter("analytics_busy_ns_total")
         self.engine = QueryEngine(host)
         self._context.setdefault("host", host)
         host.rest.register("GET", "/analytics/operators", self._route_list)
@@ -98,7 +110,7 @@ class OperatorManager:
     def _run_operator(self, op: OperatorBase, ts: int) -> None:
         t0 = time.perf_counter_ns()
         op.compute(ts)
-        self.analytics_busy_ns += time.perf_counter_ns() - t0
+        self._m_busy.inc(time.perf_counter_ns() - t0)
 
     def unload_operator(self, name: str) -> None:
         """Stop and forget one operator (its task is disabled)."""
@@ -146,7 +158,7 @@ class OperatorManager:
         try:
             return op.trigger(unit_name, when, self.engine.navigator.tree)
         finally:
-            self.analytics_busy_ns += time.perf_counter_ns() - t0
+            self._m_busy.inc(time.perf_counter_ns() - t0)
 
     def refresh_sensor_space(self) -> None:
         """Rebuild the Query Engine's navigator from the host's topics."""

@@ -32,6 +32,7 @@ from repro.dcdb.sensor import Sensor
 from repro.core.queryengine import QueryEngine
 from repro.core.tree import SensorTree
 from repro.core.units import Unit, UnitResolver
+from repro.telemetry import Histogram, MetricRegistry
 
 MODES = ("online", "ondemand")
 UNIT_MODES = ("sequential", "parallel")
@@ -124,10 +125,53 @@ class OperatorBase:
         self._shared_model = None
         self._unit_models: Dict[str, object] = {}
         self._operator_output_sensors: List[Sensor] = []
-        self.compute_count = 0
-        self.error_count = 0
-        self.busy_ns = 0
         self.last_errors: List[str] = []
+        # Unbound operators instrument against a private registry; bind()
+        # migrates the accrued values into the host's registry so every
+        # operator shows up under the host's GET /metrics.
+        self._telemetry = MetricRegistry()
+        self._init_metrics(self._telemetry)
+
+    def _init_metrics(self, registry: MetricRegistry) -> None:
+        labels = {"operator": self.config.name}
+        self._m_computes = registry.counter("operator_computes_total", **labels)
+        self._m_errors = registry.counter("operator_errors_total", **labels)
+        self._m_busy = registry.counter("operator_busy_ns_total", **labels)
+        self._m_unit_results = registry.counter(
+            "operator_unit_results_total", **labels
+        )
+        self._m_latency = registry.histogram(
+            "operator_compute_latency_ns", **labels
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry-backed counters (kept as attributes for compatibility)
+    # ------------------------------------------------------------------
+
+    @property
+    def compute_count(self) -> int:
+        """Completed computation passes."""
+        return self._m_computes.value
+
+    @property
+    def error_count(self) -> int:
+        """Failed unit computations (the operator kept running)."""
+        return self._m_errors.value
+
+    @property
+    def busy_ns(self) -> int:
+        """Cumulative wall-clock nanoseconds spent in compute passes."""
+        return self._m_busy.value
+
+    @property
+    def unit_results_count(self) -> int:
+        """Total unit results produced (unit throughput numerator)."""
+        return self._m_unit_results.value
+
+    @property
+    def compute_latency(self) -> Histogram:
+        """Latency histogram of full compute passes (telemetry view)."""
+        return self._m_latency
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -139,9 +183,18 @@ class OperatorBase:
         return self.config.name
 
     def bind(self, host, engine: QueryEngine) -> None:
-        """Attach the operator to its hosting component."""
+        """Attach the operator to its hosting component.
+
+        Operator metrics migrate into the host's metric registry (when
+        it has one), carrying over anything accrued before binding.
+        """
         self.host = host
         self.engine = engine
+        registry = getattr(host, "telemetry", None)
+        if registry is not None and registry is not self._telemetry:
+            registry.absorb(self._telemetry)
+            self._telemetry = registry
+            self._init_metrics(registry)
 
     def make_resolver(self) -> UnitResolver:
         """The resolver for this operator's pattern unit."""
@@ -225,8 +278,11 @@ class OperatorBase:
         results = self._compute_results(ts)
         self._store_results(ts, results)
         self._store_operator_outputs(ts, results)
-        self.compute_count += 1
-        self.busy_ns += time.perf_counter_ns() - t0
+        elapsed = time.perf_counter_ns() - t0
+        self._m_computes.inc()
+        self._m_busy.inc(elapsed)
+        self._m_latency.observe(elapsed)
+        self._m_unit_results.inc(len(results))
         return results
 
     def _compute_results(self, ts: int) -> List[UnitResult]:
@@ -272,7 +328,7 @@ class OperatorBase:
         except (QueryError, PluginError, ValueError, KeyError) as exc:
             # A failing unit must not take down the operator: count it
             # and move on, like the production framework's error path.
-            self.error_count += 1
+            self._m_errors.inc()
             self.last_errors = (self.last_errors + [f"{unit.name}: {exc}"])[-16:]
             return None
         if not values:
@@ -344,6 +400,10 @@ class OperatorBase:
             "computes": self.compute_count,
             "errors": self.error_count,
             "busy_ns": self.busy_ns,
+            "unit_results": self.unit_results_count,
+            "mean_compute_ns": (
+                self._m_latency.mean if self._m_latency.count else 0.0
+            ),
         }
 
 
@@ -411,7 +471,7 @@ class JobOperatorBase(OperatorBase):
                         self._tree = self.engine.navigator.tree
                         refreshed = True
                         continue
-                    self.error_count += 1
+                    self._m_errors.inc()
                     self.last_errors = (
                         self.last_errors + [f"{job.job_id}: {exc}"]
                     )[-16:]

@@ -20,6 +20,7 @@ receive zero-copy array windows regardless of the data's origin.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -28,6 +29,7 @@ from repro.common.errors import ConfigError, QueryError
 from repro.dcdb.cache import CacheView, SensorCache
 from repro.dcdb.virtual import VirtualSensor, VirtualSensorRegistry
 from repro.core.navigator import SensorNavigator
+from repro.telemetry import MetricRegistry
 
 #: Host callback returning the cache for a topic (or None).
 CacheLookup = Callable[[str], Optional[SensorCache]]
@@ -53,11 +55,43 @@ class QueryEngine:
         self._navigator = navigator or SensorNavigator.from_topics(
             host.sensor_topics()
         )
-        self.cache_hits = 0
-        self.storage_fallbacks = 0
-        self.misses = 0
+        # Shares the host's metric registry when it has one (Pusher /
+        # Collect Agent); standalone engines get a private registry so
+        # instrumentation is unconditional.
+        host_registry = getattr(host, "telemetry", None)
+        self.telemetry: MetricRegistry = (
+            host_registry if host_registry is not None else MetricRegistry()
+        )
+        self._m_hits = self.telemetry.counter("qe_cache_hits_total")
+        self._m_fallbacks = self.telemetry.counter("qe_storage_fallbacks_total")
+        self._m_misses = self.telemetry.counter("qe_misses_total")
+        self._m_latency_rel = self.telemetry.histogram(
+            "qe_query_latency_ns", mode="relative"
+        )
+        self._m_latency_abs = self.telemetry.histogram(
+            "qe_query_latency_ns", mode="absolute"
+        )
         self.virtual = VirtualSensorRegistry()
         self._virtual_in_flight: set = set()
+
+    # ------------------------------------------------------------------
+    # Telemetry-backed counters (kept as attributes for compatibility)
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        """Queries answered from a sensor cache."""
+        return self._m_hits.value
+
+    @property
+    def storage_fallbacks(self) -> int:
+        """Queries answered from the storage backend."""
+        return self._m_fallbacks.value
+
+    @property
+    def misses(self) -> int:
+        """Queries no data source could answer."""
+        return self._m_misses.value
 
     # ------------------------------------------------------------------
     # Sensor space
@@ -128,6 +162,13 @@ class QueryEngine:
         A zero offset returns only the most recent value, matching the
         query-interval-0 configuration of the Fig 5 study.
         """
+        t0 = time.perf_counter_ns()
+        try:
+            return self._query_relative(topic, offset_ns)
+        finally:
+            self._m_latency_rel.observe(time.perf_counter_ns() - t0)
+
+    def _query_relative(self, topic: str, offset_ns: int) -> CacheView:
         virtual = self.virtual.get(topic)
         if virtual is not None:
             # Anchor at the newest reading among the expression's inputs.
@@ -138,18 +179,18 @@ class QueryEngine:
             return self._eval_virtual(virtual, newest - offset_ns, newest)
         cache = self._host.cache_for(topic)
         if cache is not None and len(cache):
-            self.cache_hits += 1
+            self._m_hits.inc()
             return cache.view_relative(offset_ns)
         storage = self._host.storage
         if storage is not None:
             newest = storage.latest(topic)
             if newest is not None:
-                self.storage_fallbacks += 1
+                self._m_fallbacks.inc()
                 ts, val = storage.query(
                     topic, newest.timestamp - offset_ns, newest.timestamp
                 )
                 return CacheView([(ts, val)])
-        self.misses += 1
+        self._m_misses.inc()
         raise QueryError(f"no data available for sensor {topic}")
 
     def query_absolute(self, topic: str, start_ts: int, end_ts: int) -> CacheView:
@@ -159,6 +200,13 @@ class QueryEngine:
         from the storage backend (Collect Agents), otherwise whatever
         partial window the cache holds (Pushers, which have no backend).
         """
+        t0 = time.perf_counter_ns()
+        try:
+            return self._query_absolute(topic, start_ts, end_ts)
+        finally:
+            self._m_latency_abs.observe(time.perf_counter_ns() - t0)
+
+    def _query_absolute(self, topic: str, start_ts: int, end_ts: int) -> CacheView:
         if start_ts > end_ts:
             raise QueryError(f"inverted range: {start_ts} > {end_ts}")
         virtual = self.virtual.get(topic)
@@ -168,18 +216,18 @@ class QueryEngine:
         if cache is not None and len(cache):
             oldest = cache.oldest()
             if oldest is not None and oldest.timestamp <= start_ts:
-                self.cache_hits += 1
+                self._m_hits.inc()
                 return cache.view_absolute(start_ts, end_ts)
         storage = self._host.storage
         if storage is not None and topic in storage:
-            self.storage_fallbacks += 1
+            self._m_fallbacks.inc()
             ts, val = storage.query(topic, start_ts, end_ts)
             return CacheView([(ts, val)])
         if cache is not None and len(cache):
             # Pusher with a partially covering cache: return what exists.
-            self.cache_hits += 1
+            self._m_hits.inc()
             return cache.view_absolute(start_ts, end_ts)
-        self.misses += 1
+        self._m_misses.inc()
         raise QueryError(f"no data available for sensor {topic}")
 
     def query_many_relative(

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.common.errors import TopicError
-from repro.common.topics import component_path, join_topic, sensor_name, split_topic
+from repro.common.topics import join_topic, split_topic
 
 
 class TreeNode:

@@ -12,15 +12,20 @@ these caches in two modes (Section V-B of the paper):
   located with binary search in O(log N).
 
 The cache is a fixed-capacity ring buffer over two parallel NumPy arrays
-(int64 timestamps, float64 values).  Views never copy: a
-:class:`CacheView` holds at most two array slices (the window may wrap
-around the physical buffer) and only materialises a contiguous array on
-request, following the views-not-copies guidance for numerical Python.
+(int64 timestamps, float64 values).
+
+**Snapshot semantics.**  Views handed out by a :class:`SensorCache` are
+*snapshots*: the (at most two) window slices are materialised into one
+contiguous copy at view creation, so readings stored after the view is
+taken — including stores that wrap around the ring and overwrite the
+viewed slots — can never rewrite a view's contents mid-computation.
+Views built from already-private arrays (storage query results, virtual
+sensor evaluations) skip the copy, keeping those paths zero-copy.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -30,21 +35,40 @@ from repro.dcdb.sensor import SensorReading
 
 
 class CacheView:
-    """A zero-copy window over a sensor cache.
+    """A window over sensor readings.
 
     Holds one or two (timestamps, values) slice pairs.  Iteration yields
     :class:`SensorReading` tuples oldest-first.  ``timestamps()`` and
     ``values()`` concatenate lazily and cache the result.
+
+    With ``snapshot=True`` the segments are materialised into one
+    contiguous private copy immediately — required whenever the source
+    arrays are a live ring buffer that later stores may overwrite.
+    Views over arrays the caller already owns (storage results, virtual
+    sensor output) keep the default zero-copy behaviour.
     """
 
     __slots__ = ("_segments", "_ts", "_val")
 
-    def __init__(self, segments):
+    def __init__(self, segments, snapshot: bool = False):
         self._segments = [
             (ts, val) for ts, val in segments if len(ts) > 0
         ]
         self._ts: Optional[np.ndarray] = None
         self._val: Optional[np.ndarray] = None
+        if snapshot and self._segments:
+            if len(self._segments) == 1:
+                ts, val = self._segments[0]
+                self._ts = ts.copy()
+                self._val = val.copy()
+            else:
+                self._ts = np.concatenate(
+                    [ts for ts, _ in self._segments]
+                )
+                self._val = np.concatenate(
+                    [val for _, val in self._segments]
+                )
+            self._segments = [(self._ts, self._val)]
 
     def __len__(self) -> int:
         return sum(len(ts) for ts, _ in self._segments)
@@ -98,6 +122,20 @@ class CacheView:
         """A view over no readings."""
         return CacheView([])
 
+    @classmethod
+    def _snapshot_of(cls, ts: np.ndarray, val: np.ndarray) -> "CacheView":
+        """Fast-path constructor around already-materialised copies.
+
+        Skips the generic segment filtering of ``__init__``; used by the
+        cache's view methods, which produce exactly one contiguous
+        private (timestamps, values) pair per view.
+        """
+        view = cls.__new__(cls)
+        view._ts = ts
+        view._val = val
+        view._segments = [(ts, val)] if len(ts) else []
+        return view
+
 
 class SensorCache:
     """Fixed-capacity ring buffer of readings for one sensor.
@@ -111,7 +149,9 @@ class SensorCache:
             views.  When 0, relative views fall back to binary search.
     """
 
-    __slots__ = ("_ts", "_val", "_cap", "_head", "_size", "interval_ns")
+    __slots__ = (
+        "_ts", "_val", "_cap", "_head", "_size", "interval_ns", "stale_drops"
+    )
 
     def __init__(self, capacity: int, interval_ns: int = 0):
         if capacity <= 0:
@@ -122,6 +162,9 @@ class SensorCache:
         self._head = 0  # index of the next write slot
         self._size = 0
         self.interval_ns = int(interval_ns)
+        #: Readings rejected for violating timestamp monotonicity; hosts
+        #: surface the aggregate as a telemetry drop gauge.
+        self.stale_drops = 0
 
     @classmethod
     def for_duration(
@@ -145,6 +188,7 @@ class SensorCache:
         """Append one reading.  Timestamps must be non-decreasing; stale
         (out-of-order) readings are dropped, matching DCDB semantics."""
         if self._size and timestamp < int(self._ts[(self._head - 1) % self._cap]):
+            self.stale_drops += 1
             return
         self._ts[self._head] = timestamp
         self._val[self._head] = value
@@ -157,10 +201,27 @@ class SensorCache:
         self.store(reading.timestamp, reading.value)
 
     def store_batch(self, timestamps: np.ndarray, values: np.ndarray) -> None:
-        """Append many readings at once (already time-ordered)."""
+        """Append many readings at once (already time-ordered).
+
+        The same non-decreasing-timestamp invariant as :meth:`store`
+        applies: any prefix of the batch older than the newest retained
+        reading is dropped, so a stale batch can never corrupt the
+        sorted timestamp order that :meth:`view_absolute`'s binary
+        search relies on.
+        """
         n = len(timestamps)
         if n == 0:
             return
+        if self._size:
+            newest = int(self._ts[(self._head - 1) % self._cap])
+            stale = int(np.searchsorted(timestamps, newest, side="left"))
+            if stale:
+                self.stale_drops += stale
+                timestamps = timestamps[stale:]
+                values = values[stale:]
+                n -= stale
+                if n == 0:
+                    return
         if n >= self._cap:
             # Only the newest `cap` readings survive; write them aligned
             # to the start of the buffer.
@@ -222,11 +283,13 @@ class SensorCache:
         start = (self._head - count) % self._cap
         end = (self._head - 1) % self._cap + 1
         if start < end:
-            return CacheView([(self._ts[start:end], self._val[start:end])])
-        return CacheView([
-            (self._ts[start:], self._val[start:]),
-            (self._ts[:end], self._val[:end]),
-        ])
+            return CacheView._snapshot_of(
+                self._ts[start:end].copy(), self._val[start:end].copy()
+            )
+        return CacheView._snapshot_of(
+            np.concatenate((self._ts[start:], self._ts[:end])),
+            np.concatenate((self._val[start:], self._val[:end])),
+        )
 
     def view_latest(self) -> CacheView:
         """View containing only the most recent reading."""
@@ -272,7 +335,15 @@ class SensorCache:
             hi = int(np.searchsorted(ts, end_ts, side="right"))
             if lo < hi:
                 out.append((ts[lo:hi], val[lo:hi]))
-        return CacheView(out)
+        if not out:
+            return CacheView.empty()
+        if len(out) == 1:
+            ts, val = out[0]
+            return CacheView._snapshot_of(ts.copy(), val.copy())
+        return CacheView._snapshot_of(
+            np.concatenate([ts for ts, _ in out]),
+            np.concatenate([val for _, val in out]),
+        )
 
     def _ordered_segments(self):
         """The live contents as 1 or 2 time-ordered slices (no copy)."""

@@ -11,6 +11,7 @@ lookup order the Query Engine implements.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 from repro.common.timeutil import NS_PER_SEC
@@ -20,6 +21,7 @@ from repro.dcdb.restapi import RestApi, RestResponse
 from repro.dcdb.sensor import Sensor
 from repro.dcdb.storage import StorageBackend
 from repro.simulator.clock import TaskScheduler
+from repro.telemetry import MetricRegistry, register_metrics_route
 
 
 class CollectAgent:
@@ -62,6 +64,10 @@ class CollectAgent:
         self.caches: Dict[str, SensorCache] = {}
         self.sensors: Dict[str, Sensor] = {}
         self.rest = RestApi()
+        self.telemetry = MetricRegistry()
+        self._m_forwarded = self.telemetry.counter("forwarded_readings_total")
+        self._m_drain_latency = self.telemetry.histogram("drain_latency_ns")
+        self._register_gauges()
         self.analytics: Optional[object] = None
         self._queue = QueuedSubscriber()
         self._queue.attach(broker, subscribe_pattern)
@@ -76,8 +82,40 @@ class CollectAgent:
                 lambda ts: self._storage.expire(ts),
                 max(NS_PER_SEC, self._storage.ttl_ns // 10),
             )
-        self.forwarded_count = 0
         self._register_routes()
+
+    def _register_gauges(self) -> None:
+        """Collection-time gauges: queue depth, cache occupancy, storage
+        footprint.  Evaluated by the /metrics scraper, not the hot path."""
+        self.telemetry.gauge("ingest_queue_depth", fn=lambda: len(self._queue))
+        self.telemetry.gauge(
+            "cache_sensor_count", fn=lambda: len(self.caches)
+        )
+        self.telemetry.gauge(
+            "cache_occupancy_readings",
+            fn=lambda: sum(len(c) for c in self.caches.values()),
+        )
+        self.telemetry.gauge(
+            "cache_capacity_readings",
+            fn=lambda: sum(c.capacity for c in self.caches.values()),
+        )
+        self.telemetry.gauge(
+            "cache_memory_bytes",
+            fn=lambda: sum(c.memory_bytes() for c in self.caches.values()),
+        )
+        self.telemetry.gauge(
+            "cache_stale_drops",
+            fn=lambda: sum(c.stale_drops for c in self.caches.values()),
+        )
+        self.telemetry.gauge(
+            "storage_stored_readings",
+            fn=lambda: self._storage.total_readings(),
+        )
+
+    @property
+    def forwarded_count(self) -> int:
+        """Readings drained from MQTT into caches + storage."""
+        return self._m_forwarded.value
 
     # ------------------------------------------------------------------
     # Ingest path
@@ -95,10 +133,15 @@ class CollectAgent:
 
     def _drain(self, ts: int) -> None:
         """Flush queued MQTT messages into caches and storage."""
+        t0 = time.perf_counter_ns()
+        n = 0
         for msg in self._queue.drain():
             self._cache_for_ingest(msg.topic).store(msg.timestamp, msg.value)
             self._storage.insert(msg.topic, msg.timestamp, msg.value)
-            self.forwarded_count += 1
+            n += 1
+        if n:
+            self._m_forwarded.inc(n)
+        self._m_drain_latency.observe(time.perf_counter_ns() - t0)
 
     def flush(self, ts: Optional[int] = None) -> None:
         """Drain immediately (used by on-demand REST handlers/tests)."""
@@ -147,6 +190,7 @@ class CollectAgent:
     def _register_routes(self) -> None:
         self.rest.register("GET", "/sensors", self._route_sensors)
         self.rest.register("GET", "/stats", self._route_stats)
+        register_metrics_route(self.rest, self.telemetry)
 
     def _route_sensors(self, request) -> RestResponse:
         return RestResponse.json({"sensors": self.sensor_topics()})

@@ -16,7 +16,6 @@ Section IV-a describes.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

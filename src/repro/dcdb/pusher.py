@@ -9,9 +9,11 @@ for in-band, low-latency analysis (Section IV-a): the
 :meth:`attach_analytics` and reuses the Pusher's caches, scheduler,
 publishing path and REST API.
 
-Sampling-time accounting (``busy_ns``) records wall-clock time spent in
-plugin sampling and analytics separately; the Fig 5 overhead benchmark
-derives its percentages from these counters.
+Sampling-time accounting lives in the host's metric registry
+(:mod:`repro.telemetry`): per-plugin sampling latency histograms, busy
+and error counters, and collection-time cache gauges, all exposed over
+``GET /metrics``.  The Fig 5 overhead benchmark derives its percentages
+from these counters.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.dcdb.plugins.base import MonitoringPlugin
 from repro.dcdb.restapi import RestApi, RestResponse
 from repro.dcdb.sensor import Sensor
 from repro.simulator.clock import TaskScheduler
+from repro.telemetry import Histogram, MetricRegistry, register_metrics_route
 
 
 class Pusher:
@@ -56,11 +59,53 @@ class Pusher:
         self._plugins: Dict[str, MonitoringPlugin] = {}
         self._tasks: Dict[str, object] = {}
         self.rest = RestApi()
-        self.sampling_busy_ns = 0
-        self.sampling_errors = 0
+        self.telemetry = MetricRegistry()
+        self._m_sampling_busy = self.telemetry.counter("sampling_busy_ns_total")
+        self._m_sampling_errors = self.telemetry.counter(
+            "sampling_errors_total"
+        )
+        self._m_plugin_latency: Dict[str, Histogram] = {}
+        self._register_cache_gauges()
         self.last_sampling_errors: List[str] = []
         self.analytics: Optional[object] = None  # OperatorManager, if attached
         self._register_routes()
+
+    def _register_cache_gauges(self) -> None:
+        """Collection-time gauges over the per-sensor caches: evaluated
+        by the /metrics scraper, costing the data path nothing."""
+        self.telemetry.gauge(
+            "cache_sensor_count", fn=lambda: len(self.caches)
+        )
+        self.telemetry.gauge(
+            "cache_occupancy_readings",
+            fn=lambda: sum(len(c) for c in self.caches.values()),
+        )
+        self.telemetry.gauge(
+            "cache_capacity_readings",
+            fn=lambda: sum(c.capacity for c in self.caches.values()),
+        )
+        self.telemetry.gauge(
+            "cache_memory_bytes",
+            fn=lambda: sum(c.memory_bytes() for c in self.caches.values()),
+        )
+        self.telemetry.gauge(
+            "cache_stale_drops",
+            fn=lambda: sum(c.stale_drops for c in self.caches.values()),
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry-backed counters (kept as attributes for compatibility)
+    # ------------------------------------------------------------------
+
+    @property
+    def sampling_busy_ns(self) -> int:
+        """Cumulative wall-clock ns spent inside plugin sampling."""
+        return self._m_sampling_busy.value
+
+    @property
+    def sampling_errors(self) -> int:
+        """Sampling passes that raised (the loop kept running)."""
+        return self._m_sampling_errors.value
 
     # ------------------------------------------------------------------
     # Plugin management
@@ -78,6 +123,9 @@ class Pusher:
                 self.cache_window_ns, plugin.interval_ns
             )
         self._plugins[plugin.name] = plugin
+        self._m_plugin_latency[plugin.name] = self.telemetry.histogram(
+            "sampling_latency_ns", plugin=plugin.name
+        )
         task = self.scheduler.add_callback(
             f"{self.name}:{plugin.name}",
             lambda ts, p=plugin: self._sample_plugin(p, ts),
@@ -110,11 +158,13 @@ class Pusher:
         except Exception as exc:
             # A faulty plugin must not take down the sampling loop (or
             # the other plugins sharing it): count and continue.
-            self.sampling_errors += 1
+            self._m_sampling_errors.inc()
             self.last_sampling_errors = (
                 self.last_sampling_errors + [f"{plugin.name}@{ts}: {exc}"]
             )[-16:]
-        self.sampling_busy_ns += time.perf_counter_ns() - t0
+        elapsed = time.perf_counter_ns() - t0
+        self._m_sampling_busy.inc(elapsed)
+        self._m_plugin_latency[plugin.name].observe(elapsed)
 
     # ------------------------------------------------------------------
     # Data path (also used by Wintermute operator outputs)
@@ -169,6 +219,7 @@ class Pusher:
         self.rest.register("GET", "/plugins", self._route_plugins)
         self.rest.register("GET", "/sensors", self._route_sensors)
         self.rest.register("PUT", "/plugins", self._route_plugin_action)
+        register_metrics_route(self.rest, self.telemetry)
 
     def _route_plugins(self, request) -> RestResponse:
         return RestResponse.json({"plugins": self.plugins()})

@@ -9,7 +9,7 @@ which is what makes analysis pipelines possible (Section IV-d).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple, Optional
+from typing import NamedTuple
 
 from repro.common.topics import normalize_topic, sensor_name
 

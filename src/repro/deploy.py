@@ -38,7 +38,7 @@ Pusher under ``/facility/cooling``.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

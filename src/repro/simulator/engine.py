@@ -22,7 +22,7 @@ from repro.common.rng import derive_seed
 from repro.common.timeutil import NS_PER_SEC
 from repro.simulator.cluster import ClusterSpec, ClusterTopology
 from repro.simulator.node import NodeModel, NodePowerParams
-from repro.simulator.scheduler import Job, JobScheduler
+from repro.simulator.scheduler import JobScheduler
 from repro.simulator.workload import AppInstance, IdleProfile, profile_by_name
 
 #: Column layout of the per-core counter matrix.

@@ -29,7 +29,6 @@ from typing import Iterable, List, Tuple
 
 import numpy as np
 
-from repro.common.errors import ConfigError
 from repro.common.timeutil import NS_PER_SEC
 from repro.dcdb.plugins.base import MonitoringPlugin, PluginSample
 from repro.dcdb.sensor import Sensor

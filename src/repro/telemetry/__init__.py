@@ -1,0 +1,42 @@
+"""First-class telemetry for the Wintermute reproduction.
+
+One :class:`MetricRegistry` exists per DCDB host; every layer — the
+sampling loop, the MQTT drain, the Query Engine, Wintermute operators,
+the sensor caches — registers counters, gauges and fixed-bucket latency
+histograms in it.  The registry is exposed over ``GET /metrics`` (JSON
+or Prometheus text exposition) on each host's REST API and summarised
+into Fig 5-style overhead reports by :mod:`repro.telemetry.report`.
+"""
+
+from repro.telemetry.registry import (
+    LATENCY_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricRegistry,
+    time_histogram,
+)
+from repro.telemetry.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    metrics_handler,
+    register_metrics_route,
+    render_prometheus,
+)
+from repro.telemetry.report import format_overhead_report, overhead_report
+
+__all__ = [
+    "LATENCY_BUCKETS_NS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "format_overhead_report",
+    "metrics_handler",
+    "overhead_report",
+    "register_metrics_route",
+    "render_prometheus",
+    "time_histogram",
+]

@@ -1,0 +1,137 @@
+"""Metric exposition: Prometheus text format and the /metrics route.
+
+Every DCDB component already exposes a REST control surface
+(:mod:`repro.dcdb.restapi`); telemetry rides the same server.  The
+``GET /metrics`` route serves two representations:
+
+- **JSON** (default): the registry snapshot as a list of series dicts —
+  convenient for the CLI, tests and programmatic consumers.
+- **Prometheus text exposition** (``?format=prometheus``): the 0.0.4
+  plain-text format, so a real scraper pointed at a bridged endpoint
+  would ingest it unchanged.  Since :class:`~repro.dcdb.restapi
+  .RestResponse` bodies are dicts, the rendered page travels in the
+  ``exposition`` key next to its ``content_type``.
+
+A ``match`` query parameter filters series by a regular expression on
+the metric name, mirroring Prometheus' federation parameter.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricRegistry,
+)
+
+if TYPE_CHECKING:  # avoids a circular import with repro.dcdb at runtime
+    from repro.dcdb.restapi import RestApi, RestRequest, RestResponse
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label_value(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in str(value))
+
+
+def _label_str(labels: dict, extra: Optional[dict] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    registry: MetricRegistry, match: Optional[str] = None
+) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    pattern = re.compile(match) if match else None
+    lines: List[str] = []
+    seen_types = set()
+    for metric in registry.collect():
+        if pattern is not None and not pattern.search(metric.name):
+            continue
+        if metric.name not in seen_types:
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            seen_types.add(metric.name)
+        lines.extend(_render_metric(metric))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_metric(metric: Metric) -> List[str]:
+    if isinstance(metric, (Counter, Gauge)):
+        return [
+            f"{metric.name}{_label_str(metric.labels)} "
+            f"{_format_number(metric.value)}"
+        ]
+    if isinstance(metric, Histogram):
+        lines = []
+        for bound, count in metric.cumulative_buckets():
+            le = _label_str(metric.labels, {"le": _format_number(bound)})
+            lines.append(f"{metric.name}_bucket{le} {count}")
+        labels = _label_str(metric.labels)
+        lines.append(f"{metric.name}_sum{labels} {_format_number(metric.sum)}")
+        lines.append(f"{metric.name}_count{labels} {metric.count}")
+        return lines
+    return []
+
+
+def metrics_handler(registry: MetricRegistry):
+    """Build the GET /metrics route handler over ``registry``."""
+    from repro.dcdb.restapi import RestResponse
+
+    def handle(request: "RestRequest") -> "RestResponse":
+        match = request.param("match")
+        if match is not None:
+            try:
+                re.compile(match)
+            except re.error as exc:
+                return RestResponse.error(f"bad match pattern: {exc}", 400)
+        fmt = request.param("format", "json")
+        if fmt in ("prometheus", "text"):
+            return RestResponse.json(
+                {
+                    "content_type": PROMETHEUS_CONTENT_TYPE,
+                    "exposition": render_prometheus(registry, match),
+                }
+            )
+        if fmt != "json":
+            return RestResponse.error(
+                f"unknown format {fmt!r} (json|prometheus)", 400
+            )
+        pattern = re.compile(match) if match else None
+        samples = [
+            s
+            for s in registry.snapshot()
+            if pattern is None or pattern.search(s["name"])
+        ]
+        return RestResponse.json({"metrics": samples})
+
+    return handle
+
+
+def register_metrics_route(rest: "RestApi", registry: MetricRegistry) -> None:
+    """Register ``GET /metrics`` serving ``registry`` on ``rest``."""
+    rest.register("GET", "/metrics", metrics_handler(registry))

@@ -1,0 +1,377 @@
+"""The metric registry: counters, gauges and latency histograms.
+
+Wintermute's evaluation (Fig 5, Section VI-A) is a *self-measurement*
+exercise: the framework must be able to report its own query latency,
+cache behaviour and operator overhead while running.  The follow-up
+deployment experience ("Operational Data Analytics in Practice") makes
+the same point operationally — an ODA stack that cannot observe itself
+cannot be trusted in production.  This module is the substrate for that:
+a process-local registry of named metrics every DCDB component writes
+into and the REST ``/metrics`` route reads out of.
+
+Three metric types exist, mirroring the Prometheus data model:
+
+- :class:`Counter` — a monotonically increasing value (events, spent
+  nanoseconds).  Decrementing is a programming error.
+- :class:`Gauge` — a value that goes up and down (queue depth, cache
+  occupancy).  A gauge may instead be backed by a *callback* evaluated
+  at collection time, which keeps hot paths free of bookkeeping: the
+  cost is paid by the scraper, not the writer.
+- :class:`Histogram` — a fixed-bucket latency/size distribution.  The
+  bucket layout is chosen at creation; observing a sample is one bisect
+  plus three integer updates and never allocates, so it is safe on the
+  per-query hot path.
+
+Metrics are identified by a name plus a set of key=value labels, so one
+logical metric (say ``operator_compute_latency_ns``) fans out into one
+series per operator.  ``counter()`` / ``gauge()`` / ``histogram()`` are
+get-or-create: asking twice for the same (name, labels) returns the same
+object, which lets independent components share series safely.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Default latency bucket upper bounds in nanoseconds: a 1-10 decade
+#: ladder from 1 us to 10 s.  Fine enough to separate the paper's O(1)
+#: relative path from the O(log N) absolute path, coarse enough that a
+#: histogram is ~20 machine words.
+LATENCY_BUCKETS_NS: Tuple[int, ...] = (
+    1_000,           # 1 us
+    10_000,          # 10 us
+    100_000,         # 100 us
+    1_000_000,       # 1 ms
+    10_000_000,      # 10 ms
+    100_000_000,     # 100 ms
+    1_000_000_000,   # 1 s
+    10_000_000_000,  # 10 s
+)
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, str]) -> LabelsKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Common identity of all metric types."""
+
+    kind = "untyped"
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+
+    def sample(self) -> dict:
+        """JSON-able snapshot of this series (overridden per type)."""
+        raise NotImplementedError
+
+    def _ident(self) -> dict:
+        return {"name": self.name, "type": self.kind, "labels": dict(self.labels)}
+
+
+class Counter(Metric):
+    """A monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        super().__init__(name, labels)
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease: {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def sample(self) -> dict:
+        return {**self._ident(), "value": self._value}
+
+
+class Gauge(Metric):
+    """A value that can go up and down, or a collection-time callback."""
+
+    kind = "gauge"
+    __slots__ = ("_value", "_fn")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        fn: Optional[Callable[[], float]] = None,
+    ):
+        super().__init__(name, labels)
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        """Set the gauge (not available on callback gauges)."""
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name} is callback-backed")
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
+        self.set(self._value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.set(self._value - amount)
+
+    @property
+    def value(self) -> float:
+        """Current value (callback gauges evaluate their function)."""
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def sample(self) -> dict:
+        return {**self._ident(), "value": self.value}
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution with count/sum/min/max.
+
+    ``bounds`` are the inclusive upper edges of the buckets; one
+    implicit overflow bucket (+Inf) is always appended.  ``observe`` is
+    allocation-free: a bisect into the precomputed bounds and integer
+    bumps on a plain list.
+    """
+
+    kind = "histogram"
+    __slots__ = ("_bounds", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        buckets: Iterable[float] = LATENCY_BUCKETS_NS,
+    ):
+        super().__init__(name, labels)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        # bisect_left keeps the Prometheus `le` contract: a sample equal
+        # to a bucket's upper edge belongs to that bucket, not the next.
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (same bucket layout) into this one."""
+        if other._bounds != self._bounds:
+            raise ValueError(
+                f"histogram {self.name}: incompatible bucket layouts"
+            )
+        for i, c in enumerate(other._counts):
+            self._counts[i] += c
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    @property
+    def count(self) -> int:
+        """Total number of observed samples."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed samples."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observed sample (NaN when empty)."""
+        if not self._count:
+            return float("nan")
+        return self._sum / self._count
+
+    @property
+    def bounds(self) -> List[float]:
+        """Bucket upper edges (excluding the implicit +Inf)."""
+        return list(self._bounds)
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts, overflow last."""
+        return list(self._counts)
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style (upper-edge, cumulative-count) pairs."""
+        out = []
+        acc = 0
+        for bound, c in zip(self._bounds, self._counts):
+            acc += c
+            out.append((bound, acc))
+        out.append((float("inf"), self._count))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the bucket layout (upper edge of
+        the bucket holding the q-th sample; NaN when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        if not self._count:
+            return float("nan")
+        rank = q * self._count
+        acc = 0
+        for bound, c in zip(self._bounds, self._counts):
+            acc += c
+            if acc >= rank:
+                return bound
+        return self._max
+
+    def sample(self) -> dict:
+        return {
+            **self._ident(),
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "buckets": [
+                {"le": bound, "count": c}
+                for bound, c in self.cumulative_buckets()
+            ],
+        }
+
+
+class _TimerContext:
+    """``with histogram.time():`` — observes elapsed ns on exit."""
+
+    __slots__ = ("_hist", "_t0")
+
+    def __init__(self, hist: Histogram):
+        self._hist = hist
+        self._t0 = 0
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.observe(time.perf_counter_ns() - self._t0)
+
+
+def time_histogram(hist: Histogram) -> _TimerContext:
+    """Context manager observing its block's wall time (ns) into ``hist``."""
+    return _TimerContext(hist)
+
+
+class MetricRegistry:
+    """Process-local collection of metrics, keyed by (name, labels).
+
+    One registry exists per DCDB host (Pusher or Collect Agent); every
+    component attached to that host — monitoring plugins, the Query
+    Engine, Wintermute operators — writes into it, and the host's
+    ``GET /metrics`` REST route reads it back out.  Components that are
+    not (yet) attached to a host fall back to a private registry so
+    instrumentation never needs a null check.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelsKey], Metric] = {}
+
+    # -- creation ------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, str], **kw):
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = cls(name, labels, **kw)
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create a counter series."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(
+        self,
+        name: str,
+        fn: Optional[Callable[[], float]] = None,
+        **labels: str,
+    ) -> Gauge:
+        """Get or create a gauge series (optionally callback-backed)."""
+        gauge = self._get_or_create(Gauge, name, labels)
+        if fn is not None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = LATENCY_BUCKETS_NS,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create a histogram series with ``buckets`` edges."""
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    # -- absorption ----------------------------------------------------
+
+    def absorb(self, other: "MetricRegistry") -> None:
+        """Fold another registry's accrued values into this one.
+
+        Used when a component that instrumented itself against a private
+        registry is later bound to a host: pre-bind counts carry over
+        instead of silently resetting.
+        """
+        for (name, key), metric in other._metrics.items():
+            if isinstance(metric, Counter):
+                self.counter(name, **metric.labels).inc(metric.value)
+            elif isinstance(metric, Histogram):
+                mine = self.histogram(
+                    name, buckets=metric.bounds, **metric.labels
+                )
+                mine.merge(metric)
+            elif isinstance(metric, Gauge):
+                mine = self.gauge(name, fn=metric._fn, **metric.labels)
+                if metric._fn is None:
+                    mine.set(metric.value)
+
+    # -- collection ----------------------------------------------------
+
+    def collect(self) -> List[Metric]:
+        """All registered series, sorted by (name, labels)."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def get(self, name: str, **labels: str) -> Optional[Metric]:
+        """Look up one series, or None."""
+        return self._metrics.get((name, _labels_key(labels)))
+
+    def snapshot(self) -> List[dict]:
+        """JSON-able samples of every series (the /metrics JSON body)."""
+        return [m.sample() for m in self.collect()]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return any(n == name for n, _ in self._metrics)

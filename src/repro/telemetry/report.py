@@ -1,0 +1,143 @@
+"""Overhead reporting from live telemetry counters.
+
+The paper's Fig 5 study quantifies Wintermute's footprint: what fraction
+of a core the Query Engine and operator computations consume per
+analysis interval.  The seed reproduced that with bespoke benchmark
+timing; with the telemetry registry the same quantities fall out of the
+live counters any running deployment accrues — no dedicated harness
+required.  :func:`overhead_report` distils a host registry into the Fig
+5 measurements; :func:`format_overhead_report` renders them for the
+``wintermute-sim metrics --report`` CLI path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricRegistry
+
+
+def _counter_value(registry: MetricRegistry, name: str, **labels) -> int:
+    metric = registry.get(name, **labels)
+    if isinstance(metric, Counter):
+        return metric.value
+    return 0
+
+
+def _histogram_summary(hist: Histogram) -> dict:
+    return {
+        "count": hist.count,
+        "sum_ns": hist.sum,
+        "mean_ns": hist.mean if hist.count else None,
+        "p50_ns": hist.quantile(0.5) if hist.count else None,
+        "p99_ns": hist.quantile(0.99) if hist.count else None,
+    }
+
+
+def overhead_report(
+    registry: MetricRegistry, elapsed_ns: Optional[int] = None
+) -> dict:
+    """Summarise a host registry into Fig 5-style overhead numbers.
+
+    Args:
+        registry: a host's metric registry.
+        elapsed_ns: observed wall/simulated span; when given, busy
+            counters are also expressed as a percentage of one core
+            over that span (the paper's overhead metric).
+    """
+    report: dict = {
+        "sampling_busy_ns": _counter_value(registry, "sampling_busy_ns_total"),
+        "analytics_busy_ns": _counter_value(
+            registry, "analytics_busy_ns_total"
+        ),
+        "query_engine": {
+            "cache_hits": _counter_value(registry, "qe_cache_hits_total"),
+            "storage_fallbacks": _counter_value(
+                registry, "qe_storage_fallbacks_total"
+            ),
+            "misses": _counter_value(registry, "qe_misses_total"),
+        },
+        "query_latency": {},
+        "operators": [],
+        "gauges": {},
+    }
+    for metric in registry.collect():
+        if isinstance(metric, Histogram):
+            if metric.name == "qe_query_latency_ns":
+                mode = metric.labels.get("mode", "all")
+                report["query_latency"][mode] = _histogram_summary(metric)
+            elif metric.name == "operator_compute_latency_ns":
+                entry = {"operator": metric.labels.get("operator", "?")}
+                entry.update(_histogram_summary(metric))
+                report["operators"].append(entry)
+        elif isinstance(metric, Gauge) and metric.name.startswith("cache_"):
+            report["gauges"][metric.name] = metric.value
+    report["operators"].sort(key=lambda e: e["operator"])
+    if elapsed_ns and elapsed_ns > 0:
+        report["elapsed_ns"] = int(elapsed_ns)
+        report["sampling_overhead_pct"] = (
+            report["sampling_busy_ns"] / elapsed_ns * 100.0
+        )
+        report["analytics_overhead_pct"] = (
+            report["analytics_busy_ns"] / elapsed_ns * 100.0
+        )
+    return report
+
+
+def _fmt_ns(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1e9:
+        return f"{value / 1e9:.2f}s"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}us"
+    return f"{value:.0f}ns"
+
+
+def format_overhead_report(report: dict, name: str = "host") -> str:
+    """Render an :func:`overhead_report` dict as readable text."""
+    lines: List[str] = [f"# Telemetry overhead report — {name}"]
+    if "elapsed_ns" in report:
+        lines.append(
+            f"observed span: {report['elapsed_ns'] / 1e9:.1f}s; "
+            f"sampling {report['sampling_overhead_pct']:.3f}% of one core, "
+            f"analytics {report['analytics_overhead_pct']:.3f}%"
+        )
+    else:
+        lines.append(
+            f"sampling busy {_fmt_ns(report['sampling_busy_ns'])}, "
+            f"analytics busy {_fmt_ns(report['analytics_busy_ns'])}"
+        )
+    qe = report["query_engine"]
+    total = qe["cache_hits"] + qe["storage_fallbacks"] + qe["misses"]
+    if total:
+        lines.append(
+            f"queries: {total} total — {qe['cache_hits']} cache hits "
+            f"({qe['cache_hits'] / total * 100:.1f}%), "
+            f"{qe['storage_fallbacks']} storage fallbacks, "
+            f"{qe['misses']} misses"
+        )
+    for mode, summary in sorted(report["query_latency"].items()):
+        if not summary["count"]:
+            continue
+        lines.append(
+            f"  {mode} latency: mean {_fmt_ns(summary['mean_ns'])}, "
+            f"p50 <= {_fmt_ns(summary['p50_ns'])}, "
+            f"p99 <= {_fmt_ns(summary['p99_ns'])} "
+            f"({summary['count']} queries)"
+        )
+    if report["operators"]:
+        lines.append("operators:")
+        for entry in report["operators"]:
+            lines.append(
+                f"  {entry['operator']}: {entry['count']} computes, "
+                f"mean {_fmt_ns(entry['mean_ns'])}, "
+                f"p99 <= {_fmt_ns(entry['p99_ns'])}"
+            )
+    gauges: Dict[str, float] = report.get("gauges", {})
+    if gauges:
+        parts = [f"{k}={v:.0f}" for k, v in sorted(gauges.items())]
+        lines.append("caches: " + ", ".join(parts))
+    return "\n".join(lines)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.common.timeutil import (
     NS_PER_MS,
-    NS_PER_SEC,
     Interval,
     from_millis,
     from_seconds,

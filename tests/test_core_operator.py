@@ -1,16 +1,14 @@
 """Tests for the operator base classes (Sections IV / V-C)."""
 
-import threading
 
 import pytest
 
-from repro.common.errors import ConfigError, QueryError
+from repro.common.errors import ConfigError
 from repro.common.timeutil import NS_PER_SEC
 from repro.core.operator import (
     JobOperatorBase,
     OperatorBase,
     OperatorConfig,
-    UnitResult,
 )
 from repro.core.queryengine import QueryEngine
 from repro.core.tree import SensorTree

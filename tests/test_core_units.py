@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import UnitResolutionError
 from repro.core.tree import SensorTree
-from repro.core.units import Unit, UnitResolver, resolve_job_unit
+from repro.core.units import UnitResolver, resolve_job_unit
 
 
 PAPER_INPUTS = [

@@ -222,3 +222,92 @@ class TestSizing:
     def test_memory_bytes_counts_both_arrays(self):
         c = SensorCache(100)
         assert c.memory_bytes() == 100 * (8 + 8)
+
+
+class TestViewSnapshotSemantics:
+    """Views must be immutable snapshots: later stores — including ring
+    wrap-around that overwrites the very slots a view was built from —
+    must not alter data already handed out (regression: views used to
+    alias the live ring-buffer arrays)."""
+
+    def test_view_survives_wraparound_overwrite(self):
+        c = SensorCache(4)
+        fill(c, 4)  # values 0..3 fill the ring exactly
+        view = c.view_relative(10 * NS_PER_SEC)
+        before_ts = view.timestamps().copy()
+        before_val = view.values().copy()
+        # Four more stores overwrite every slot the view came from.
+        fill(c, 4, start=4 * NS_PER_SEC)
+        np.testing.assert_array_equal(view.timestamps(), before_ts)
+        np.testing.assert_array_equal(view.values(), before_val)
+        assert list(view.values()) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_absolute_view_survives_wraparound(self):
+        c = SensorCache(4)
+        fill(c, 4)
+        view = c.view_absolute(0, 3 * NS_PER_SEC)
+        fill(c, 4, start=4 * NS_PER_SEC)
+        assert list(view.values()) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_wrapped_view_survives_further_stores(self):
+        c = SensorCache(4)
+        fill(c, 6)  # head mid-ring: view spans the wrap seam
+        view = c.view_relative(10 * NS_PER_SEC)
+        assert list(view.values()) == [2.0, 3.0, 4.0, 5.0]
+        fill(c, 4, start=6 * NS_PER_SEC)
+        assert list(view.values()) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_mutating_returned_array_does_not_corrupt_cache(self):
+        c = SensorCache(4)
+        fill(c, 3)
+        view = c.view_relative(10 * NS_PER_SEC)
+        view.values()[:] = -1.0
+        fresh = c.view_relative(10 * NS_PER_SEC)
+        assert list(fresh.values()) == [0.0, 1.0, 2.0]
+
+
+class TestStoreBatchOrdering:
+    """store_batch must enforce the same non-decreasing-timestamp
+    invariant as store() (regression: it used to append stale batches
+    wholesale, leaving timestamps unsorted and breaking binary search)."""
+
+    def test_stale_batch_prefix_dropped(self):
+        c = SensorCache(8)
+        c.store(5 * NS_PER_SEC, 5.0)
+        ts = np.array([3, 4, 5, 6]) * NS_PER_SEC
+        c.store_batch(ts, np.array([3.0, 4.0, 5.0, 6.0]))
+        # 3 and 4 predate the newest reading and are dropped; 5 (equal
+        # timestamp) and 6 are kept, matching store()'s guard.
+        assert list(c.view_relative(100 * NS_PER_SEC).values()) == \
+            [5.0, 5.0, 6.0]
+        assert c.stale_drops == 2
+
+    def test_fully_stale_batch_dropped(self):
+        c = SensorCache(8)
+        c.store(10 * NS_PER_SEC, 1.0)
+        c.store_batch(
+            np.array([1, 2]) * NS_PER_SEC, np.array([9.0, 9.0])
+        )
+        assert len(c) == 1
+        assert c.stale_drops == 2
+
+    def test_mixed_store_and_batch_stays_sorted(self):
+        c = SensorCache(16)
+        c.store(2 * NS_PER_SEC, 2.0)
+        c.store_batch(
+            np.array([1, 3, 4]) * NS_PER_SEC, np.array([1.0, 3.0, 4.0])
+        )
+        c.store(5 * NS_PER_SEC, 5.0)
+        c.store_batch(np.array([4, 6]) * NS_PER_SEC, np.array([9.0, 6.0]))
+        ts = c.view_relative(100 * NS_PER_SEC).timestamps()
+        assert list(ts) == sorted(ts)
+        # Absolute views rely on sorted timestamps for binary search.
+        v = c.view_absolute(3 * NS_PER_SEC, 5 * NS_PER_SEC)
+        assert list(v.values()) == [3.0, 4.0, 5.0]
+
+    def test_stale_drop_counter_shared_with_store(self):
+        c = SensorCache(8)
+        c.store(100, 1.0)
+        c.store(50, 2.0)  # stale single store
+        c.store_batch(np.array([10, 20]), np.array([0.0, 0.0]))
+        assert c.stale_drops == 3

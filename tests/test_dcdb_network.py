@@ -1,6 +1,5 @@
 """Tests for one-shot scheduling and the network-conditions link."""
 
-import numpy as np
 import pytest
 
 from repro.common.errors import ConfigError

@@ -5,7 +5,7 @@ import pytest
 from repro.common.errors import ConfigError, PluginError
 from repro.common.timeutil import NS_PER_SEC
 from repro.dcdb import Broker, CollectAgent, Pusher
-from repro.dcdb.plugins import SysfsPlugin, TesterMonitoringPlugin
+from repro.dcdb.plugins import TesterMonitoringPlugin
 from repro.dcdb.sensor import Sensor
 from repro.simulator.clock import TaskScheduler
 

@@ -1,7 +1,6 @@
 """Failure-injection tests: faulty components must not poison the
 data plane or the analysis loop."""
 
-import pytest
 
 from repro.common.timeutil import NS_PER_SEC
 from repro.dcdb import Broker, CollectAgent, Pusher

@@ -1,8 +1,6 @@
 """End-to-end integration: simulator -> pushers -> MQTT -> collect agent
 -> Wintermute operators on both hosts."""
 
-import numpy as np
-import pytest
 
 from repro.common.timeutil import NS_PER_SEC
 from repro.core.manager import OperatorManager

@@ -1,6 +1,5 @@
 """Tests for the perfmetrics plugin (derived CPU metrics)."""
 
-import numpy as np
 import pytest
 
 from repro.common.errors import ConfigError

@@ -1,7 +1,7 @@
 """Property-based tests: the sensor cache against a list reference model."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.dcdb.cache import SensorCache

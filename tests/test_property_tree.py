@@ -1,6 +1,6 @@
 """Property-based tests: sensor tree and pattern-unit resolution."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.pattern import PatternExpression

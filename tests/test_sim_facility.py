@@ -1,6 +1,5 @@
 """Tests for the facility cooling substrate."""
 
-import numpy as np
 import pytest
 
 from repro.common.timeutil import NS_PER_SEC
@@ -8,7 +7,6 @@ from repro.dcdb import Broker, Pusher
 from repro.simulator import (
     ClusterSimulator,
     ClusterSpec,
-    CoolingParams,
     CoolingSystem,
     FacilityPlugin,
 )
