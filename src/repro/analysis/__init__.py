@@ -1,0 +1,74 @@
+"""Offline static analysis for Wintermute configurations and sources.
+
+Two halves (surfaced through ``wintermute-sim check``):
+
+- :mod:`repro.analysis.config` — a **static configuration analyzer**:
+  validates plugin blocks and whole deployment specs without
+  instantiating a single operator.  It parses every pattern-unit
+  expression, resolves sensor references against a sensor tree
+  synthesized from the deployment's cluster/monitoring sections, detects
+  inter-operator pipeline cycles and duplicate output topics, and
+  reports per-operator unit-expansion cardinality — so a block that
+  would instantiate 100k units (Section III-C's scaling property) is
+  visible before anything runs.
+- :mod:`repro.analysis.astlint` — a **repo-specific AST lint pass**
+  enforcing invariants generic linters cannot express: lock discipline,
+  simulation-clock purity, no silent broad excepts, and no writes to
+  shared unit state inside operator ``compute`` paths.
+
+Both report :class:`~repro.analysis.diagnostics.Diagnostic` records with
+stable rule codes; the catalog lives in ``docs/STATIC_ANALYSIS.md``.
+
+Only the diagnostics primitives are imported eagerly: the configurator
+in :mod:`repro.core` imports them at module load, so the heavier halves
+(which themselves import :mod:`repro.core`) are resolved lazily to keep
+the import graph acyclic.
+"""
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    DiagnosticCollector,
+    count_by_severity,
+    has_errors,
+    sort_key,
+)
+
+__all__ = [
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "count_by_severity",
+    "has_errors",
+    "sort_key",
+    "analyze_deployment",
+    "analyze_pipeline_blocks",
+    "analyze_plugin_block",
+    "trees_from_deployment",
+    "lint_paths",
+    "lint_source",
+    "extract_configs",
+]
+
+_LAZY = {
+    "analyze_deployment": "repro.analysis.config",
+    "analyze_pipeline_blocks": "repro.analysis.config",
+    "analyze_plugin_block": "repro.analysis.config",
+    "trees_from_deployment": "repro.analysis.config",
+    "lint_paths": "repro.analysis.astlint",
+    "lint_source": "repro.analysis.astlint",
+    "extract_configs": "repro.analysis.extract",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,694 @@
+"""Static configuration analyzer (offline half of ``wintermute-sim check``).
+
+The paper's Unit System makes one small configuration block expand into
+thousands of per-component units (Section III-C) — which also means a
+typo in a ``<bottomup-1, filter node>`` pattern, a dangling sensor
+reference or a cycle between operator inputs and outputs is normally
+discovered only at deploy time, deep inside the Operator Manager.  This
+module finds those problems *statically*: it parses every pattern-unit
+expression without instantiating operators, resolves sensor references
+against a sensor tree synthesized from the deployment's cluster and
+monitoring sections, detects inter-operator pipeline cycles and
+duplicate output topics, and reports unit-expansion cardinality per
+operator.
+
+Entry points:
+
+- :func:`analyze_plugin_block` — one plugin block, optionally against a
+  sensor tree.
+- :func:`analyze_pipeline_blocks` — an ordered list of blocks sharing a
+  host: adds cross-operator rules (duplicate outputs W011, cycles W012)
+  and makes earlier blocks' declared outputs visible to later blocks,
+  mirroring staged pipeline deployment.
+- :func:`analyze_deployment` — a whole ``repro.deploy`` specification:
+  validates every section and runs the pipeline analysis per analytics
+  host context against the synthesized trees.
+
+All findings are :class:`~repro.analysis.diagnostics.Diagnostic`
+records; rule codes are documented in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticCollector
+from repro.common.errors import ConfigError, TopicError
+from repro.core.configurator import collect_block_diagnostics
+from repro.core.operator import JobOperatorBase
+from repro.core.pattern import PatternExpression
+from repro.core.registry import available_plugins, get_plugin_class
+from repro.core.tree import SensorTree
+
+#: Default cardinality threshold: a single operator expanding to more
+#: units than this draws a W014 warning (Section III-C scale is the
+#: point, but six-figure unit sets deserve a deliberate decision).
+DEFAULT_MAX_UNITS = 10_000
+
+_DEPLOYMENT_SECTIONS = frozenset(
+    {"cluster", "monitoring", "jobs", "facility", "analytics"}
+)
+_CLUSTER_KEYS = frozenset(
+    {"nodes", "cpus", "seed", "anomalies", "racks", "chassis_per_rack",
+     "nodes_per_chassis", "preset", "total_nodes"}
+)
+_MONITORING_KEYS = frozenset(
+    {"plugins", "perfevent_counters", "interval_ms", "cache_window_s",
+     "tester_sensors"}
+)
+_FACILITY_KEYS = frozenset({"enabled", "setpoint_c", "interval_s"})
+_JOB_KEYS = frozenset(
+    {"app", "nodes", "node_paths", "start_s", "end_s", "id"}
+)
+
+
+# ----------------------------------------------------------------------
+# Parsed-operator view
+# ----------------------------------------------------------------------
+
+class _OperatorView:
+    """Pre-parsed expressions of one operator block (analysis-side)."""
+
+    def __init__(self, block_index: int, plugin: str, name: str,
+                 block: dict) -> None:
+        self.block_index = block_index
+        self.plugin = plugin
+        self.name = name
+        self.relaxed = bool(block.get("relaxed", False))
+        self.inputs: List[PatternExpression] = []
+        self.outputs: List[PatternExpression] = []
+        for key, target in (("inputs", self.inputs), ("outputs", self.outputs)):
+            value = block.get(key)
+            if not isinstance(value, list):
+                continue
+            for text in value:
+                if not isinstance(text, str):
+                    continue
+                try:
+                    target.append(PatternExpression.parse(text))
+                except ConfigError:
+                    pass  # already reported as W006 by the configurator
+
+        cls = get_plugin_class(plugin)
+        self.is_job_plugin = isinstance(cls, type) and issubclass(
+            cls, JobOperatorBase
+        )
+
+    @property
+    def label(self) -> str:
+        return f"{self.plugin}/{self.name}"
+
+    def unit_expr(self) -> Optional[PatternExpression]:
+        """The unit-defining (first, level-anchored) output expression."""
+        if self.outputs and self.outputs[0].anchor != "unit":
+            return self.outputs[0]
+        return None
+
+
+def _level_key(expr: PatternExpression, tree: Optional[SensorTree],
+               unit_level) -> Optional[Tuple[str, int]]:
+    """Comparable level identity of an expression, or None if unknown.
+
+    With a tree the key is the absolute level; without one it is the
+    symbolic (anchor, offset) pair — comparable between expressions of
+    the same anchor family.  Unit-anchored expressions inherit the
+    operator's unit-domain level.
+    """
+    if expr.anchor == "unit":
+        return unit_level
+    if tree is not None:
+        try:
+            return ("abs", tree.resolve_level(expr.anchor, expr.offset))
+        except TopicError:
+            return None
+    return (expr.anchor, expr.offset)
+
+
+# ----------------------------------------------------------------------
+# Single-block analysis
+# ----------------------------------------------------------------------
+
+def analyze_plugin_block(
+    block: dict,
+    tree: Optional[SensorTree] = None,
+    known_plugins: Optional[Sequence[str]] = None,
+    collector: Optional[DiagnosticCollector] = None,
+    max_units: int = DEFAULT_MAX_UNITS,
+    block_index: int = 0,
+) -> List[Diagnostic]:
+    """Analyze one plugin configuration block.
+
+    Structural validation (unknown keys, time spellings, malformed
+    patterns) is delegated to the configurator's collector so the static
+    and runtime paths agree; this function layers plugin-name checks and
+    — when ``tree`` is given — sensor-reference resolution and
+    cardinality reporting on top.
+    """
+    out = collector if collector is not None else DiagnosticCollector()
+    start = len(out.sink)
+    collect_block_diagnostics(block, out)
+    if not isinstance(block, dict):
+        return out.sink[start:]
+    plugin = block.get("plugin")
+    known = set(available_plugins()) | set(known_plugins or ())
+    if isinstance(plugin, str) and plugin not in known:
+        out.at("plugin").error(
+            "W001",
+            f"unknown operator plugin {plugin!r}; registered: {sorted(known)}",
+        )
+    operators = block.get("operators")
+    if not isinstance(operators, dict) or not isinstance(plugin, str):
+        return out.sink[start:]
+    for name, op_block in operators.items():
+        if not isinstance(op_block, dict):
+            continue
+        view = _OperatorView(block_index, plugin, name, op_block)
+        _analyze_operator(view, tree, out.at("operators", name), max_units)
+    return out.sink[start:]
+
+
+def _analyze_operator(
+    view: _OperatorView,
+    tree: Optional[SensorTree],
+    out: DiagnosticCollector,
+    max_units: int,
+) -> None:
+    """Resolution-level checks for one operator (tree may be None)."""
+    unit_expr = view.unit_expr()
+    if tree is None:
+        return
+    unit_domain = None
+    if unit_expr is not None and not view.is_job_plugin:
+        try:
+            unit_domain = unit_expr.domain(tree)
+        except TopicError as exc:
+            out.at("outputs", 0).error("W008", str(exc))
+        else:
+            n = len(unit_domain)
+            out.info(
+                "W013",
+                f"operator {view.name!r} expands to {n} unit(s) "
+                f"({unit_expr!s})",
+            )
+            if n == 0:
+                severity = "warning" if view.relaxed else "error"
+                out.at("outputs", 0).add(
+                    "W009", severity,
+                    f"output expression {unit_expr!s} matches no tree node",
+                )
+            elif n > max_units:
+                out.at("outputs", 0).warning(
+                    "W014",
+                    f"operator {view.name!r} would instantiate {n} units "
+                    f"(threshold {max_units}); consider a filter or "
+                    f"unit_cadence",
+                )
+    for i, expr in enumerate(view.inputs):
+        _check_input(view, expr, i, tree, unit_domain, out)
+    # Non-first anchored outputs must also resolve to a level.
+    for i, expr in enumerate(view.outputs):
+        if i == 0 or expr.anchor == "unit":
+            continue
+        try:
+            tree.resolve_level(expr.anchor, expr.offset)
+        except TopicError as exc:
+            out.at("outputs", i).error("W008", str(exc))
+
+
+def _check_input(
+    view: _OperatorView,
+    expr: PatternExpression,
+    index: int,
+    tree: SensorTree,
+    unit_domain,
+    out: DiagnosticCollector,
+) -> None:
+    """W010: does any reachable node carry the referenced sensor?
+
+    A static approximation of unit resolution: per-unit, inputs bind to
+    hierarchically related nodes of the expression's domain — here we
+    only require that *some* node the expression can reach carries a
+    sensor of that name, which is exactly the typo/dangling-reference
+    class this rule is after.
+    """
+    severity = "warning" if view.relaxed else "error"
+    if view.is_job_plugin:
+        # Job inputs resolve against each allocated node's subtree; a
+        # name absent from the whole tree can never resolve.
+        if not _name_exists_anywhere(tree, expr.sensor):
+            out.at("inputs", index).add(
+                "W010", severity,
+                f"input {expr!s}: no sensor named {expr.sensor!r} exists "
+                f"anywhere in the sensor tree",
+            )
+        return
+    if expr.anchor == "unit":
+        candidates = unit_domain
+        if candidates is None:
+            return  # unit domain unknown; nothing to resolve against
+    else:
+        try:
+            candidates = expr.domain(tree)
+        except TopicError:
+            out.at("inputs", index).error(
+                "W008",
+                f"input {expr!s}: level outside the sensor tree "
+                f"(levels 0..{tree.max_level})",
+            )
+            return
+    if not any(expr.sensor in node.sensors for node in candidates):
+        out.at("inputs", index).add(
+            "W010", severity,
+            f"input {expr!s}: no matching node carries a sensor named "
+            f"{expr.sensor!r} (dangling reference)",
+        )
+
+
+def _name_exists_anywhere(tree: SensorTree, name: str) -> bool:
+    return any(
+        name in node.sensors for node in tree.root.iter_subtree()
+    )
+
+
+# ----------------------------------------------------------------------
+# Cross-block (pipeline) analysis
+# ----------------------------------------------------------------------
+
+def analyze_pipeline_blocks(
+    blocks: Sequence[dict],
+    tree: Optional[SensorTree] = None,
+    known_plugins: Optional[Sequence[str]] = None,
+    collector: Optional[DiagnosticCollector] = None,
+    max_units: int = DEFAULT_MAX_UNITS,
+) -> List[Diagnostic]:
+    """Analyze an ordered list of plugin blocks sharing one host.
+
+    Blocks are processed in deployment order; each block's declared
+    output sensors are added to the (copied) tree before the next block
+    is analyzed, so staged pipelines resolve exactly like
+    :meth:`repro.core.pipeline.Pipeline.deploy` loads them.  Duplicate
+    output topics (W011) and operator cycles (W012) are detected across
+    the whole list.
+    """
+    out = collector if collector is not None else DiagnosticCollector()
+    start = len(out.sink)
+    work_tree = _copy_tree(tree) if tree is not None else None
+    views: List[_OperatorView] = []
+    for i, block in enumerate(blocks):
+        block_out = out.at(i)
+        analyze_plugin_block(
+            block, work_tree, known_plugins, block_out,
+            max_units=max_units, block_index=i,
+        )
+        if not isinstance(block, dict):
+            continue
+        plugin = block.get("plugin")
+        operators = block.get("operators")
+        if not isinstance(plugin, str) or not isinstance(operators, dict):
+            continue
+        block_views = [
+            _OperatorView(i, plugin, name, op_block)
+            for name, op_block in operators.items()
+            if isinstance(op_block, dict)
+        ]
+        views.extend(block_views)
+        if work_tree is not None:
+            for view in block_views:
+                _materialize_outputs(view, work_tree)
+    _check_duplicate_outputs(views, work_tree, out)
+    _check_cycles(views, work_tree, out)
+    return out.sink[start:]
+
+
+def _copy_tree(tree: SensorTree) -> SensorTree:
+    return SensorTree.from_topics(tree.all_sensor_topics())
+
+
+def _materialize_outputs(view: _OperatorView, tree: SensorTree) -> None:
+    """Add the operator's declared output sensors to the tree, making
+    them visible to later pipeline stages."""
+    if view.is_job_plugin:
+        return  # outputs live under /jobs/<id>/, created per running job
+    unit_expr = view.unit_expr()
+    for expr in view.outputs:
+        if expr.anchor == "unit":
+            domain_expr = unit_expr
+        else:
+            domain_expr = expr
+        if domain_expr is None:
+            continue
+        try:
+            nodes = domain_expr.domain(tree)
+        except TopicError:
+            continue
+        for node in nodes:
+            topic = (
+                f"/{expr.sensor}" if node.path == "/"
+                else f"{node.path.rstrip('/')}/{expr.sensor}"
+            )
+            try:
+                tree.add_sensor(topic)
+            except TopicError:
+                pass  # name collides with a component; resolution rules apply
+
+
+def _output_keys(view: _OperatorView, tree: Optional[SensorTree]):
+    """(sensor-name, level-key, filtered) triples of declared outputs."""
+    if view.is_job_plugin:
+        return []
+    unit_expr = view.unit_expr()
+    unit_level = _level_key(unit_expr, tree, None) if unit_expr else None
+    keys = []
+    for expr in view.outputs:
+        level = _level_key(expr, tree, unit_level)
+        filtered = expr.filter is not None or (
+            expr.anchor == "unit"
+            and unit_expr is not None
+            and unit_expr.filter is not None
+        )
+        keys.append((expr.sensor, level, filtered))
+    return keys
+
+
+def _input_keys(view: _OperatorView, tree: Optional[SensorTree]):
+    unit_expr = view.unit_expr()
+    unit_level = _level_key(unit_expr, tree, None) if unit_expr else None
+    keys = []
+    for expr in view.inputs:
+        keys.append((expr.sensor, _level_key(expr, tree, unit_level)))
+    return keys
+
+
+def _check_duplicate_outputs(
+    views: List[_OperatorView],
+    tree: Optional[SensorTree],
+    out: DiagnosticCollector,
+) -> None:
+    """W011: two operators writing the same output topic."""
+    producers: Dict[Tuple[str, object], List[Tuple[_OperatorView, bool]]] = {}
+    for view in views:
+        seen: Set[Tuple[str, object]] = set()
+        for sensor, level, filtered in _output_keys(view, tree):
+            if level is None or (sensor, level) in seen:
+                continue
+            seen.add((sensor, level))
+            producers.setdefault((sensor, level), []).append((view, filtered))
+    for (sensor, _level), entries in sorted(producers.items(),
+                                            key=lambda kv: kv[0][0]):
+        if len(entries) < 2:
+            continue
+        labels = sorted(v.label for v, _ in entries)
+        any_filtered = any(f for _, f in entries)
+        severity = "warning" if any_filtered else "error"
+        qualifier = (
+            " (domains are filtered and may not overlap)"
+            if any_filtered else ""
+        )
+        out.add(
+            "W011", severity,
+            f"operators {labels} all declare output sensor {sensor!r} at "
+            f"the same tree level{qualifier}",
+        )
+
+
+def _check_cycles(
+    views: List[_OperatorView],
+    tree: Optional[SensorTree],
+    out: DiagnosticCollector,
+) -> None:
+    """W012: cycles in the operator data-flow graph.
+
+    Edge A -> B when some output (sensor, level) of A matches some
+    input (sensor, level) of B.  Level identity is exact when a tree is
+    available and symbolic otherwise; unknown levels produce no edge, so
+    the rule errs toward silence rather than false cycles.
+    """
+    outputs = {id(v): _output_keys(v, tree) for v in views}
+    inputs = {id(v): _input_keys(v, tree) for v in views}
+    edges: Dict[int, List[int]] = {id(v): [] for v in views}
+    by_id = {id(v): v for v in views}
+    for a in views:
+        produced = {(s, l) for s, l, _ in outputs[id(a)] if l is not None}
+        if not produced:
+            continue
+        for b in views:
+            consumed = {(s, l) for s, l in inputs[id(b)] if l is not None}
+            if produced & consumed:
+                edges[id(a)].append(id(b))
+    # Iterative DFS cycle detection with path recovery.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in edges}
+    reported: Set[frozenset] = set()
+    for root in edges:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(edges[root]))]
+        path = [root]
+        color[root] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color[nxt] == GREY:
+                    cycle = path[path.index(nxt):] + [nxt]
+                    members = frozenset(cycle[:-1])
+                    if members not in reported:
+                        reported.add(members)
+                        labels = " -> ".join(
+                            by_id[n].label for n in cycle
+                        )
+                        out.error(
+                            "W012",
+                            f"operator pipeline cycle: {labels}",
+                        )
+                elif color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    stack.append((nxt, iter(edges[nxt])))
+                    path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+    return
+
+
+# ----------------------------------------------------------------------
+# Deployment specs
+# ----------------------------------------------------------------------
+
+def trees_from_deployment(spec: dict) -> Tuple[SensorTree, SensorTree]:
+    """Synthesize (agent_tree, pusher_tree) from a deployment spec.
+
+    The agent tree holds every sensor topic the monitoring configuration
+    would produce cluster-wide (plus facility sensors); the pusher tree
+    holds one representative node's topics — the view a per-node
+    analytics manager resolves its pattern units against.  Nothing is
+    instantiated beyond the cluster topology.
+    """
+    from repro.deploy import cluster_spec_from_block
+    from repro.simulator.cluster import ClusterTopology
+    from repro.simulator.engine import CPU_COUNTERS
+    from repro.dcdb.plugins.opa import SENSOR_NAMES as OPA_NAMES
+    from repro.dcdb.plugins.procfs import SENSOR_NAMES as PROCFS_NAMES
+    from repro.dcdb.plugins.sysfs import SENSOR_NAMES as SYSFS_NAMES
+
+    cluster = spec.get("cluster", {})
+    monitoring = spec.get("monitoring", {})
+    plugins = list(monitoring.get("plugins", ("sysfs",)))
+    counters = monitoring.get("perfevent_counters") or list(CPU_COUNTERS)
+    tester_sensors = monitoring.get("tester_sensors", 100)
+    topology = ClusterTopology(cluster_spec_from_block(cluster))
+
+    def node_topics(node: str) -> List[str]:
+        topics: List[str] = []
+        if "sysfs" in plugins:
+            topics += [f"{node}/{n}" for n in SYSFS_NAMES]
+        if "procfs" in plugins:
+            topics += [f"{node}/{n}" for n in PROCFS_NAMES]
+        if "opa" in plugins:
+            topics += [f"{node}/{n}" for n in OPA_NAMES]
+        if "perfevent" in plugins:
+            cpus = topology.cpus_of_node.get(node, [])
+            topics += [f"{cpu}/{c}" for cpu in cpus for c in counters]
+        if "tester" in plugins:
+            topics += [
+                f"{node}/tester{i:04d}" for i in range(int(tester_sensors))
+            ]
+        return topics
+
+    agent_topics: List[str] = []
+    for node in topology.node_paths:
+        agent_topics.extend(node_topics(node))
+    if spec.get("facility", {}).get("enabled"):
+        from repro.simulator.facility import FACILITY_SENSOR_NAMES
+
+        agent_topics.extend(
+            f"/facility/cooling/{n}" for n in FACILITY_SENSOR_NAMES
+        )
+    pusher_topics = (
+        node_topics(topology.node_paths[0]) if topology.node_paths else []
+    )
+    return (
+        SensorTree.from_topics(agent_topics),
+        SensorTree.from_topics(pusher_topics),
+    )
+
+
+def analyze_deployment(
+    spec: dict,
+    known_plugins: Optional[Sequence[str]] = None,
+    collector: Optional[DiagnosticCollector] = None,
+    max_units: int = DEFAULT_MAX_UNITS,
+) -> List[Diagnostic]:
+    """Analyze a whole deployment specification (see :mod:`repro.deploy`)."""
+    from repro.deploy import _MONITORING_PLUGINS
+    from repro.simulator.engine import CPU_COUNTERS
+    from repro.simulator.workload import APP_PROFILES
+
+    out = collector if collector is not None else DiagnosticCollector()
+    start = len(out.sink)
+    if not isinstance(spec, dict):
+        out.error("W005", "deployment spec must be a mapping")
+        return out.sink[start:]
+    for key in sorted(set(spec) - _DEPLOYMENT_SECTIONS):
+        out.at(key).error(
+            "W003",
+            f"unknown deployment section {key!r} "
+            f"(expected {sorted(_DEPLOYMENT_SECTIONS)})",
+        )
+    if "cluster" not in spec:
+        out.error("W016", "deployment spec needs a 'cluster' section")
+        return out.sink[start:]
+
+    cluster = spec.get("cluster")
+    if not isinstance(cluster, dict):
+        out.at("cluster").error("W005", "'cluster' must be a mapping")
+        cluster = {}
+    for key in sorted(set(cluster) - _CLUSTER_KEYS):
+        out.at("cluster", key).warning(
+            "W003", f"unknown cluster key {key!r}"
+        )
+    preset = cluster.get("preset")
+    if preset is not None and preset != "coolmuc3":
+        out.at("cluster", "preset").error(
+            "W016", f"unknown cluster preset {preset!r} (known: coolmuc3)"
+        )
+    for key in ("nodes", "cpus", "racks"):
+        value = cluster.get(key)
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, int) or value < 1
+        ):
+            out.at("cluster", key).error(
+                "W016", f"cluster {key} must be a positive integer"
+            )
+
+    monitoring = spec.get("monitoring", {})
+    if not isinstance(monitoring, dict):
+        out.at("monitoring").error("W005", "'monitoring' must be a mapping")
+        monitoring = {}
+    for key in sorted(set(monitoring) - _MONITORING_KEYS):
+        out.at("monitoring", key).warning(
+            "W003", f"unknown monitoring key {key!r}"
+        )
+    plugins = monitoring.get("plugins", ())
+    unknown_monitoring = set(plugins) - set(_MONITORING_PLUGINS)
+    if unknown_monitoring:
+        out.at("monitoring", "plugins").error(
+            "W016",
+            f"unknown monitoring plugins {sorted(unknown_monitoring)} "
+            f"(available: {sorted(_MONITORING_PLUGINS)})",
+        )
+    counters = monitoring.get("perfevent_counters") or ()
+    unknown_counters = set(counters) - set(CPU_COUNTERS)
+    if unknown_counters:
+        out.at("monitoring", "perfevent_counters").error(
+            "W016",
+            f"unknown perfevent counters {sorted(unknown_counters)} "
+            f"(available: {sorted(CPU_COUNTERS)})",
+        )
+    interval = monitoring.get("interval_ms")
+    if interval is not None and (
+        isinstance(interval, bool)
+        or not isinstance(interval, (int, float))
+        or interval <= 0
+    ):
+        out.at("monitoring", "interval_ms").error(
+            "W016", "monitoring interval_ms must be a positive number"
+        )
+
+    facility = spec.get("facility", {})
+    if isinstance(facility, dict):
+        for key in sorted(set(facility) - _FACILITY_KEYS):
+            out.at("facility", key).warning(
+                "W003", f"unknown facility key {key!r}"
+            )
+
+    # Synthesized sensor space (skipped when the cluster section is
+    # malformed enough that topology construction fails).
+    agent_tree = pusher_tree = None
+    try:
+        agent_tree, pusher_tree = trees_from_deployment(spec)
+    except Exception as exc:
+        out.at("cluster").error(
+            "W016", f"cannot synthesize the sensor space: {exc}"
+        )
+
+    jobs = spec.get("jobs", [])
+    if not isinstance(jobs, list):
+        out.at("jobs").error("W005", "'jobs' must be a list")
+        jobs = []
+    node_paths = set()
+    if agent_tree is not None:
+        node_paths = {
+            n.path
+            for n in agent_tree.root.iter_subtree()
+            if n.sensors and n.path != "/"
+        }
+    for i, job in enumerate(jobs):
+        job_out = out.at("jobs", i)
+        if not isinstance(job, dict):
+            job_out.error("W005", "job entry must be a mapping")
+            continue
+        for key in sorted(set(job) - _JOB_KEYS):
+            job_out.at(key).warning("W003", f"unknown job key {key!r}")
+        app = job.get("app")
+        if app is None:
+            job_out.error("W016", "job entry needs an 'app'")
+        elif not isinstance(app, str) or app.lower() not in APP_PROFILES:
+            job_out.at("app").error(
+                "W016",
+                f"unknown application profile {app!r} "
+                f"(known: {sorted(APP_PROFILES)})",
+            )
+        if "end_s" not in job:
+            job_out.error("W016", "job entry needs an 'end_s'")
+        for path in job.get("node_paths", ()):
+            if node_paths and path not in node_paths:
+                job_out.at("node_paths").error(
+                    "W016", f"job names unknown node path {path!r}"
+                )
+
+    analytics = spec.get("analytics", {})
+    if not isinstance(analytics, dict):
+        out.at("analytics").error("W005", "'analytics' must be a mapping")
+        return out.sink[start:]
+    for key in sorted(set(analytics) - {"pushers", "agent"}):
+        out.at("analytics", key).error(
+            "W003",
+            f"unknown analytics host context {key!r} "
+            f"(expected 'pushers' and/or 'agent')",
+        )
+    for context, tree in (("pushers", pusher_tree), ("agent", agent_tree)):
+        blocks = analytics.get(context, [])
+        if not isinstance(blocks, list):
+            out.at("analytics", context).error(
+                "W005", f"analytics.{context} must be a list of plugin blocks"
+            )
+            continue
+        analyze_pipeline_blocks(
+            blocks, tree, known_plugins,
+            out.at("analytics", context), max_units=max_units,
+        )
+    return out.sink[start:]

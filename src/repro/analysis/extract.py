@@ -1,0 +1,260 @@
+"""Configuration-block extraction for the static analyzer.
+
+The analyzer needs configuration *values*, but in this repository most
+Wintermute configuration lives as dict literals inside example and
+benchmark scripts (passed to ``manager.load_plugin({...})`` or
+``build_deployment({...})``), not as standalone files.  This module
+pulls those literals out **without executing the scripts**: an AST walk
+finds candidate dict literals and a safe constant evaluator resolves
+them, understanding module-level constants, the well-known time-unit
+names, and plain arithmetic — exactly the vocabulary the examples use.
+
+JSON files are handled too (a deployment spec, one plugin block, or a
+list of blocks), so ``wintermute-sim check --config`` accepts either
+form.
+
+Locally registered plugin names (``@operator_plugin("x")`` /
+``register_operator_plugin("x", ...)``) are collected per file and fed
+to the analyzer as extra known plugins — an example defining its own
+control operator is not a W001.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Well-known constants resolvable without importing anything.
+_KNOWN_CONSTANTS: Dict[str, object] = {
+    "NS_PER_US": 1_000,
+    "NS_PER_MS": 1_000_000,
+    "NS_PER_SEC": 1_000_000_000,
+    "None": None,
+    "True": True,
+    "False": False,
+}
+
+_BIN_OPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a ** b,
+}
+
+
+class _Unresolvable(Exception):
+    """A value the safe evaluator cannot reduce to a constant."""
+
+
+@dataclass
+class ExtractedConfig:
+    """One configuration value found in a source file.
+
+    Attributes:
+        kind: ``"block"`` (plugin block), ``"blocks"`` (list of blocks)
+            or ``"deployment"`` (full deployment spec).
+        value: the evaluated configuration.
+        file: originating file path.
+        line: 1-based line of the literal (0 for whole-file JSON).
+    """
+
+    kind: str
+    value: object
+    file: str
+    line: int = 0
+
+
+@dataclass
+class ExtractionResult:
+    """Everything extraction learned from one file."""
+
+    configs: List[ExtractedConfig] = field(default_factory=list)
+    local_plugins: List[str] = field(default_factory=list)
+    #: (line, reason) pairs for dict literals that looked like config
+    #: blocks but could not be statically evaluated.
+    skipped: List[Tuple[int, str]] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Safe evaluation
+# ----------------------------------------------------------------------
+
+def _safe_eval(node: ast.expr, env: Dict[str, object]) -> object:
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id in env:
+            return env[node.id]
+        if node.id in _KNOWN_CONSTANTS:
+            return _KNOWN_CONSTANTS[node.id]
+        raise _Unresolvable(f"unresolvable name {node.id!r}")
+    if isinstance(node, ast.Dict):
+        out = {}
+        for key_node, value_node in zip(node.keys, node.values):
+            if key_node is None:
+                raise _Unresolvable("dict unpacking (**) in literal")
+            out[_safe_eval(key_node, env)] = _safe_eval(value_node, env)
+        return out
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        items = [_safe_eval(elt, env) for elt in node.elts]
+        return set(items) if isinstance(node, ast.Set) else list(items)
+    if isinstance(node, ast.BinOp) and type(node.op) in _BIN_OPS:
+        return _BIN_OPS[type(node.op)](
+            _safe_eval(node.left, env), _safe_eval(node.right, env)
+        )
+    if isinstance(node, ast.UnaryOp):
+        operand = _safe_eval(node.operand, env)
+        if isinstance(node.op, ast.USub):
+            return -operand  # type: ignore[operator]
+        if isinstance(node.op, ast.UAdd):
+            return +operand  # type: ignore[operator]
+        raise _Unresolvable("unsupported unary operator")
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            elif isinstance(value, ast.FormattedValue):
+                parts.append(str(_safe_eval(value.value, env)))
+            else:
+                raise _Unresolvable("unsupported f-string part")
+        return "".join(parts)
+    raise _Unresolvable(
+        f"unsupported expression {type(node).__name__}"
+    )
+
+
+def _module_constants(tree: ast.Module) -> Dict[str, object]:
+    """Module-level ``NAME = <constant expression>`` bindings.
+
+    Later rebindings win, matching execution order closely enough for
+    configuration constants (which are written once in practice).
+    """
+    env: Dict[str, object] = {}
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        try:
+            evaluated = _safe_eval(value, env)
+        except _Unresolvable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                env[target.id] = evaluated
+    return env
+
+
+# ----------------------------------------------------------------------
+# Candidate classification
+# ----------------------------------------------------------------------
+
+def _literal_keys(node: ast.Dict) -> List[str]:
+    return [
+        key.value
+        for key in node.keys
+        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+    ]
+
+
+def _classify(node: ast.Dict) -> str:
+    keys = set(_literal_keys(node))
+    if "cluster" in keys:
+        return "deployment"
+    if "plugin" in keys and "operators" in keys:
+        return "block"
+    return ""
+
+
+def _collect_local_plugins(tree: ast.Module) -> List[str]:
+    names: List[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        func_name = (
+            func.attr if isinstance(func, ast.Attribute)
+            else getattr(func, "id", "")
+        )
+        if func_name not in ("operator_plugin", "register_operator_plugin"):
+            continue
+        if node.args and isinstance(node.args[0], ast.Constant) \
+                and isinstance(node.args[0].value, str):
+            names.append(node.args[0].value)
+    return names
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def extract_from_python(source: str, path: str = "<string>") -> ExtractionResult:
+    """Extract configuration blocks from Python source text."""
+    result = ExtractionResult()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.skipped.append((exc.lineno or 0, f"syntax error: {exc.msg}"))
+        return result
+    env = _module_constants(tree)
+    result.local_plugins = _collect_local_plugins(tree)
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, ast.Dict):
+            kind = _classify(node)
+            if kind:
+                try:
+                    value = _safe_eval(node, env)
+                except _Unresolvable as exc:
+                    result.skipped.append((node.lineno, str(exc)))
+                else:
+                    result.configs.append(
+                        ExtractedConfig(kind, value, path, node.lineno)
+                    )
+                return  # nested blocks belong to this one
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    visit(tree)
+    return result
+
+
+def extract_from_json(text: str, path: str = "<string>") -> ExtractionResult:
+    """Extract configuration from JSON text (spec, block, or block list)."""
+    result = ExtractionResult()
+    try:
+        value = json.loads(text)
+    except ValueError as exc:
+        result.skipped.append((0, f"invalid JSON: {exc}"))
+        return result
+    if isinstance(value, dict) and "cluster" in value:
+        result.configs.append(ExtractedConfig("deployment", value, path))
+    elif isinstance(value, dict):
+        result.configs.append(ExtractedConfig("block", value, path))
+    elif isinstance(value, list):
+        result.configs.append(ExtractedConfig("blocks", value, path))
+    else:
+        result.skipped.append(
+            (0, "top-level JSON must be an object or a list")
+        )
+    return result
+
+
+def extract_configs(path: str) -> ExtractionResult:
+    """Extract configuration blocks from one file (``.py`` or ``.json``)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if path.endswith(".json"):
+        return extract_from_json(text, path)
+    return extract_from_python(text, path)

@@ -27,6 +27,13 @@ declarative deployment file (see :mod:`repro.deploy`):
     ``--report`` for a Fig 5-style overhead summary).  ``--host``
     selects a pusher by node path; the default is the Collect Agent.
 
+``python -m repro.cli check [--config FILE]... [--lint]``
+    Statically analyze configuration files (deployment specs, plugin
+    blocks — JSON or Python scripts containing them) and/or run the
+    repo-specific AST lint pass, **without executing anything**.  Exits
+    non-zero when errors are found; ``--format json`` emits the
+    diagnostics machine-readably.  Rules: ``docs/STATIC_ANALYSIS.md``.
+
 ``run --snapshot out.npz`` additionally archives the Collect Agent's
 storage to a compressed file loadable with ``StorageBackend.load``.
 """
@@ -34,6 +41,7 @@ storage to a compressed file loadable with ``StorageBackend.load``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import re
 import sys
@@ -207,6 +215,79 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """`check`: static analysis of configs and/or the AST lint pass."""
+    import os
+    from dataclasses import replace
+
+    import repro
+    from repro.analysis import (
+        Diagnostic,
+        analyze_deployment,
+        analyze_pipeline_blocks,
+        count_by_severity,
+        extract_configs,
+        lint_paths,
+        sort_key,
+    )
+
+    if not args.config and not args.lint:
+        print("check: nothing to do (pass --config FILE and/or --lint)",
+              file=sys.stderr)
+        return 2
+    diags = []
+    for path in args.config or []:
+        result = extract_configs(path)
+        for line, reason in result.skipped:
+            diags.append(Diagnostic(
+                code="W015", severity="info",
+                message=f"config block not statically evaluable: {reason}",
+                file=path, line=line,
+            ))
+        for cfg in result.configs:
+            if cfg.kind == "deployment":
+                found = analyze_deployment(
+                    cfg.value, known_plugins=result.local_plugins,
+                    max_units=args.max_units,
+                )
+            else:
+                blocks = (
+                    cfg.value if cfg.kind == "blocks" else [cfg.value]
+                )
+                found = analyze_pipeline_blocks(
+                    blocks, known_plugins=result.local_plugins,
+                    max_units=args.max_units,
+                )
+            diags.extend(
+                replace(d, file=d.file or cfg.file, line=d.line or cfg.line)
+                for d in found
+            )
+    if args.lint:
+        targets = args.lint_path or [
+            os.path.dirname(os.path.abspath(repro.__file__))
+        ]
+        diags.extend(lint_paths(targets))
+
+    diags.sort(key=sort_key)
+    counts = count_by_severity(diags)
+    failing = counts["error"] + (counts["warning"] if args.strict else 0)
+    exit_code = 1 if failing else 0
+    if args.format == "json":
+        print(json.dumps({
+            "diagnostics": [d.to_dict() for d in diags],
+            "summary": counts,
+            "exit_code": exit_code,
+        }, indent=2))
+        return exit_code
+    for diag in diags:
+        if diag.severity == "info" and args.quiet:
+            continue
+        print(diag.format())
+    print(f"check: {counts['error']} error(s), {counts['warning']} "
+          f"warning(s), {counts['info']} info")
+    return exit_code
+
+
 def cmd_plugins(args) -> int:
     """`plugins`: list the registered operator plugins."""
     for name in available_plugins():
@@ -297,6 +378,41 @@ def make_parser() -> argparse.ArgumentParser:
                                 "instead of raw series")
     p_metrics.set_defaults(fn=cmd_metrics)
 
+    p_check = sub.add_parser(
+        "check",
+        help="statically analyze configs / lint the source tree",
+    )
+    p_check.add_argument(
+        "--config", action="append", default=[], metavar="FILE",
+        help="configuration file to analyze (.json spec/block, or a .py "
+             "script containing config dict literals); repeatable",
+    )
+    p_check.add_argument(
+        "--lint", action="store_true",
+        help="run the repo-specific AST lint rules (L001..L004)",
+    )
+    p_check.add_argument(
+        "--lint-path", action="append", default=[], metavar="PATH",
+        help="file or directory to lint (default: the repro package)",
+    )
+    p_check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default text)",
+    )
+    p_check.add_argument(
+        "--max-units", type=int, default=10_000,
+        help="unit-cardinality threshold for W014 (default 10000)",
+    )
+    p_check.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures (exit 1)",
+    )
+    p_check.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress info diagnostics in text output",
+    )
+    p_check.set_defaults(fn=cmd_check)
+
     p_plugins = sub.add_parser("plugins", help="list operator plugins")
     p_plugins.set_defaults(fn=cmd_plugins)
 
@@ -313,10 +429,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.fn(args)
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe: not an error.
-        try:
+        with contextlib.suppress(Exception):
             sys.stdout.close()
-        except Exception:
-            pass
         return 0
 
 

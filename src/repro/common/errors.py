@@ -15,7 +15,19 @@ class TopicError(ReproError):
 
 
 class ConfigError(ReproError):
-    """A malformed configuration block for a plugin, operator or host."""
+    """A malformed configuration block for a plugin, operator or host.
+
+    When raised by validation that inspects a whole block before giving
+    up (the configurator, the static analyzer), ``diagnostics`` carries
+    every individual finding as a list of
+    :class:`repro.analysis.diagnostics.Diagnostic` records, so callers
+    can report all problems of a block at once rather than one per
+    attempt.
+    """
+
+    def __init__(self, message: str, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
 
 
 class QueryError(ReproError):

@@ -47,6 +47,18 @@ def available_plugins() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def get_plugin_class(name: str):
+    """The registered operator class for a plugin name, or None.
+
+    Used by the static analyzer to check plugin references and to tell
+    job operator plugins (dynamic per-job units) from pattern-unit ones
+    without instantiating anything.
+    """
+    import repro.plugins  # noqa: F401  (ensure bundled plugins registered)
+
+    return _REGISTRY.get(name)
+
+
 def create_operator(
     plugin_name: str, config: OperatorConfig, context: Dict[str, object]
 ) -> OperatorBase:

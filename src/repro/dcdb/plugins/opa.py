@@ -18,6 +18,9 @@ _SENSORS: Tuple[Tuple[str, str], ...] = (
     ("rcv-bytes", "B"),
 )
 
+#: Sensor names this plugin attaches to each node (static-analysis view).
+SENSOR_NAMES: Tuple[str, ...] = tuple(name for name, _ in _SENSORS)
+
 
 class OpaPlugin(MonitoringPlugin):
     """Fabric counter sampling for one compute node."""

@@ -18,6 +18,9 @@ _SENSORS: Tuple[Tuple[str, str, bool], ...] = (
     ("memfree", "B", False),
 )
 
+#: Sensor names this plugin attaches to each node (static-analysis view).
+SENSOR_NAMES: Tuple[str, ...] = tuple(name for name, _, _ in _SENSORS)
+
 
 class ProcfsPlugin(MonitoringPlugin):
     """OS-statistics sampling for one compute node."""

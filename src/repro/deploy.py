@@ -184,6 +184,12 @@ class Deployment:
         return self.agent.storage.latest(topic)
 
 
+def cluster_spec_from_block(block: dict) -> ClusterSpec:
+    """Translate a deployment spec's ``cluster`` section into a
+    :class:`ClusterSpec` (shared with the static analyzer)."""
+    return _cluster_spec(block)
+
+
 def _cluster_spec(block: dict) -> ClusterSpec:
     if "racks" in block:
         return ClusterSpec(

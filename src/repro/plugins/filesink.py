@@ -19,6 +19,7 @@ export progress is itself monitorable.
 
 from __future__ import annotations
 
+import contextlib
 import csv
 import os
 from typing import Dict, List, TextIO
@@ -37,7 +38,10 @@ class _UnitSink:
     def __init__(self, path: str, columns: List[str]) -> None:
         self.path = path
         is_new = not os.path.exists(path)
-        self.handle: TextIO = open(path, "a", newline="", encoding="utf-8")
+        # Long-lived handle, closed via FileSinkOperator.close().
+        self.handle: TextIO = open(  # noqa: SIM115
+            path, "a", newline="", encoding="utf-8"
+        )
         self.writer = csv.writer(self.handle)
         if is_new:
             self.writer.writerow(["timestamp"] + columns)
@@ -118,7 +122,5 @@ class FileSinkOperator(OperatorBase):
         self._sinks.clear()
 
     def __del__(self):  # pragma: no cover - interpreter shutdown path
-        try:
+        with contextlib.suppress(Exception):
             self.close()
-        except Exception:
-            pass

@@ -54,7 +54,16 @@ class HealthOperator(OperatorBase):
         self.trip_count = int(config.params.get("trip_count", 1))
         if self.trip_count < 1:
             raise ConfigError(f"{config.name}: trip_count must be >= 1")
-        self._violations: Dict[str, int] = {}
+
+    def make_model(self) -> Dict[str, int]:
+        """Per-unit violation counters, keyed by unit name.
+
+        Kept in the model (not on ``self``) so parallel unit mode gives
+        each unit its own counter dict and ``compute_unit`` never writes
+        shared operator state (lint rule L004); sequential mode shares
+        one dict, which is race-free by construction.
+        """
+        return {}
 
     def _in_bounds(self, name: str, value: float) -> bool:
         lo, hi = self.bounds.get(name, (None, None))
@@ -77,9 +86,10 @@ class HealthOperator(OperatorBase):
                 continue
             if not self._in_bounds(name, float(values.mean())):
                 violated.append(name)
+        violations: Dict[str, int] = self.model_for(unit)
         if violated:
-            self._violations[unit.name] = self._violations.get(unit.name, 0) + 1
+            violations[unit.name] = violations.get(unit.name, 0) + 1
         else:
-            self._violations[unit.name] = 0
-        healthy = self._violations[unit.name] < self.trip_count
+            violations[unit.name] = 0
+        healthy = violations[unit.name] < self.trip_count
         return {sensor.name: 1.0 if healthy else 0.0 for sensor in unit.outputs}

@@ -127,6 +127,11 @@ class CoolingSystem:
         return self.it_power_w + self.chiller_power_w
 
 
+#: Sensor names the facility plugin attaches to its component path
+#: (static-analysis view).
+FACILITY_SENSOR_NAMES = ("inlet-temp", "setpoint", "chiller-power", "it-power")
+
+
 class FacilityPlugin(MonitoringPlugin):
     """Monitoring plugin exposing the cooling loop as sensors.
 

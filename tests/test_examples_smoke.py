@@ -14,7 +14,9 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+BENCHMARKS_DIR = EXAMPLES_DIR.parent / "benchmarks"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+ALL_CONFIG_SOURCES = ALL_EXAMPLES + sorted(BENCHMARKS_DIR.glob("*.py"))
 
 #: Examples fast enough to execute inside the test suite.
 FAST_EXAMPLES = ["quickstart.py", "ondemand_scheduling.py"]
@@ -40,6 +42,39 @@ def test_examples_exist():
 @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
 def test_example_compiles(path):
     py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize(
+    "path", ALL_CONFIG_SOURCES, ids=lambda p: f"{p.parent.name}/{p.name}"
+)
+def test_static_analyzer_accepts_config_blocks(path):
+    """Every config block shipped in examples/ and benchmarks/ must pass
+    the static analyzer without errors (``wintermute-sim check``)."""
+    from repro.analysis import (
+        analyze_deployment,
+        analyze_pipeline_blocks,
+        extract_configs,
+    )
+
+    result = extract_configs(str(path))
+    diags = []
+    blocks = []
+    for cfg in result.configs:
+        if cfg.kind == "block":
+            blocks.append(cfg.value)
+        elif cfg.kind == "blocks":
+            blocks.extend(cfg.value)
+        else:  # full deployment spec: tree-based analysis
+            diags.extend(
+                analyze_deployment(
+                    cfg.value, known_plugins=result.local_plugins
+                )
+            )
+    diags.extend(
+        analyze_pipeline_blocks(blocks, known_plugins=result.local_plugins)
+    )
+    errors = [d.format() for d in diags if d.severity == "error"]
+    assert not errors, errors
 
 
 @pytest.mark.parametrize("name", FAST_EXAMPLES)

@@ -56,6 +56,11 @@ def make_unit():
     )
 
 
+def read_rows(path):
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))
+
+
 class TestFileSink:
     def test_writes_header_and_rows(self, tmp_path):
         host = Host()
@@ -69,9 +74,7 @@ class TestFileSink:
             host.push("/r0/n0/temp", ts, 40.0 + i)
             out = op.compute_unit(unit, ts)
         assert out == {"rows": 3.0}
-        path = tmp_path / "out" / "r0_n0.csv"
-        with open(path) as fh:
-            rows = list(csv.reader(fh))
+        rows = read_rows(tmp_path / "out" / "r0_n0.csv")
         assert rows[0] == ["timestamp", "r0_n0_power", "r0_n0_temp"]
         assert rows[1] == ["0.0", "100.0", "40.0"]
         assert rows[3] == ["2.0", "102.0", "42.0"]
@@ -84,8 +87,7 @@ class TestFileSink:
         op.bind(host, QueryEngine(host))
         op.start()
         op.compute_unit(make_unit(), 2 * NS_PER_SEC)
-        path = tmp_path / "out" / "r0_n0.csv"
-        rows = list(csv.reader(open(path)))
+        rows = read_rows(tmp_path / "out" / "r0_n0.csv")
         assert rows[1][0] == "2000.0"
 
     def test_missing_input_leaves_blank(self, tmp_path):
@@ -95,7 +97,7 @@ class TestFileSink:
         op.bind(host, QueryEngine(host))
         op.start()
         op.compute_unit(make_unit(), 0)
-        rows = list(csv.reader(open(tmp_path / "out" / "r0_n0.csv")))
+        rows = read_rows(tmp_path / "out" / "r0_n0.csv")
         assert rows[1] == ["0.0", "5.0", ""]
 
     def test_flush_cadence(self, tmp_path):
@@ -109,7 +111,7 @@ class TestFileSink:
         op.compute_unit(unit, 0)
         # Not yet flushed: only the header is guaranteed on disk.
         op.stop()  # stop() flushes
-        rows = list(csv.reader(open(tmp_path / "out" / "r0_n0.csv")))
+        rows = read_rows(tmp_path / "out" / "r0_n0.csv")
         assert len(rows) == 2
         op.close()
 
@@ -124,7 +126,7 @@ class TestFileSink:
             op.compute_unit(make_unit(), 0)
             op.stop()
             op.close()
-        rows = list(csv.reader(open(tmp_path / "out" / "r0_n0.csv")))
+        rows = read_rows(tmp_path / "out" / "r0_n0.csv")
         assert len(rows) == 3  # one header + two data rows
 
     @pytest.mark.parametrize(
