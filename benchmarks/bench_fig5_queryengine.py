@@ -199,6 +199,33 @@ class TestFig5:
         benchmark(op.compute, scheduler.clock.now)
         assert (grid < CEILING["relative"]).all()
 
+    def test_fig5_sanitizer_off_on_measurement_path(self, warm_pusher):
+        """The overhead grids above are only meaningful if they measure
+        the *production* path: no active runtime sanitizer, unpatched
+        clock functions.  With the seams disabled their entire cost is
+        one module-attribute load plus an ``is None`` branch per seam,
+        so the grid ceilings above are the same as before the sanitizer
+        existed — this pin makes an accidental always-on activation
+        (which would silently inflate every Fig 5 cell) a hard failure.
+        """
+        import time as time_module
+
+        from repro.sanitizer import hooks
+        from repro.sanitizer.invariants import (
+            PATCH_MARKER,
+            time_functions_patched,
+        )
+
+        assert hooks.CURRENT is None
+        assert not time_functions_patched()
+        pusher, manager, scheduler = warm_pusher
+        op = make_operator(pusher, "relative", 10, 12_500)
+        op.compute(scheduler.clock.now)
+        # Driving the hot path activated nothing and patched nothing.
+        assert hooks.CURRENT is None
+        for name in ("time", "monotonic", "sleep"):
+            assert not hasattr(getattr(time_module, name), PATCH_MARKER)
+
     def test_fig5_mode_comparison(self, warm_pusher, benchmark):
         """Absolute mode's binary search costs at least as much as the
         relative mode's O(1) index arithmetic (Section VI-A-2)."""

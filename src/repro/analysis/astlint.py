@@ -18,6 +18,14 @@ Generic linters don't know this codebase's invariants; these rules do:
   thread pool, so per-unit state belongs in the model returned by
   ``make_model()`` (placed per-unit or shared by
   :meth:`~repro.core.operator.OperatorBase.model_for`).
+- **L005** — ``threading.Thread(...)`` without a ``daemon=`` argument in
+  a scope that never ``join()``\\ s a thread leaks a non-daemon thread:
+  it blocks interpreter shutdown and outlives the component that spawned
+  it.  Pass ``daemon=`` explicitly or join the thread.
+- **L006** — ``time.sleep`` inside an operator compute path stalls the
+  whole scheduling slot (and, under a wall-clock driver, every
+  contender on the driver lock); operators wait by returning and being
+  re-invoked at their interval, never by sleeping.
 
 Suppression: append ``# lint: allow(CODE)`` to the offending line.
 """
@@ -31,10 +39,20 @@ from typing import Iterable, List, Optional, Sequence, Set
 from repro.analysis.diagnostics import Diagnostic, sort_key
 
 #: Rule codes implemented by this module.
-LINT_CODES = ("L001", "L002", "L003", "L004")
+LINT_CODES = ("L001", "L002", "L003", "L004", "L005", "L006")
 
 _WALL_CLOCK_FUNCS = {"time", "monotonic"}
 _COMPUTE_METHODS = {"compute", "compute_unit"}
+#: Methods on the operator computation path for the sleep rule (L006):
+#: everything invoked from a scheduled compute pass or REST trigger.
+_COMPUTE_PATH_METHODS = {
+    "compute",
+    "compute_unit",
+    "compute_operator_outputs",
+    "trigger",
+    "_compute_results",
+    "_compute_one",
+}
 
 
 def _is_self_attr(node: ast.AST, name: Optional[str] = None) -> bool:
@@ -288,11 +306,126 @@ def _lint_compute_state(
                     ))
 
 
+def _is_thread_ctor(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return (
+            func.attr == "Thread"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+        )
+    return isinstance(func, ast.Name) and func.id == "Thread"
+
+
+def _has_thread_join(scope: ast.AST) -> bool:
+    """Whether ``scope`` contains a plausible ``<thread>.join(...)``.
+
+    ``str.join`` is the false friend here: calls whose receiver is a
+    string literal are excluded; other receivers are given the benefit
+    of the doubt (a missed finding beats a false positive).
+    """
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and not (
+                isinstance(node.func.value, ast.Constant)
+                and isinstance(node.func.value.value, str)
+            )
+        ):
+            return True
+    return False
+
+
+def _lint_thread_lifecycle(
+    tree: ast.Module, path: str, out: List[Diagnostic], sup: _Suppressions
+) -> None:
+    """L005 — threads created with neither a daemon flag nor a join."""
+
+    def check(ctors: List[ast.Call], scope: ast.AST) -> None:
+        pending = [
+            c for c in ctors
+            if not any(kw.arg == "daemon" for kw in c.keywords)
+        ]
+        if not pending or _has_thread_join(scope):
+            return
+        for call in pending:
+            if sup.active(call.lineno, "L005"):
+                continue
+            out.append(Diagnostic(
+                code="L005",
+                severity="error",
+                message=(
+                    "threading.Thread created without a daemon= argument "
+                    "and never joined in this scope; a leaked non-daemon "
+                    "thread blocks interpreter shutdown"
+                ),
+                file=path,
+                line=call.lineno,
+            ))
+
+    claimed: Set[int] = set()
+    for cls in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
+        ctors = [
+            n for n in ast.walk(cls)
+            if _is_thread_ctor(n) and id(n) not in claimed
+        ]
+        claimed.update(id(c) for c in ctors)
+        check(ctors, cls)
+    check(
+        [
+            n for n in ast.walk(tree)
+            if _is_thread_ctor(n) and id(n) not in claimed
+        ],
+        tree,
+    )
+
+
+def _lint_sleep_in_compute(
+    tree: ast.Module, path: str, out: List[Diagnostic], sup: _Suppressions
+) -> None:
+    """L006 — ``time.sleep`` on an operator computation path."""
+    for cls in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
+        if not _is_operator_plugin_class(cls):
+            continue
+        for method in _iter_methods(cls):
+            if method.name not in _COMPUTE_PATH_METHODS:
+                continue
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                is_sleep = (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "sleep"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                ) or (isinstance(func, ast.Name) and func.id == "sleep")
+                if is_sleep and not sup.active(node.lineno, "L006"):
+                    out.append(Diagnostic(
+                        code="L006",
+                        severity="error",
+                        message=(
+                            f"{cls.name}.{method.name} calls time.sleep: "
+                            f"operator compute paths must never block — "
+                            f"return and let the scheduler re-invoke at "
+                            f"the configured interval"
+                        ),
+                        file=path,
+                        line=node.lineno,
+                    ))
+
+
 _RULES = (
     _lint_lock_discipline,
     _lint_wall_clock,
     _lint_silent_except,
     _lint_compute_state,
+    _lint_thread_lifecycle,
+    _lint_sleep_in_compute,
 )
 
 

@@ -27,12 +27,19 @@ declarative deployment file (see :mod:`repro.deploy`):
     ``--report`` for a Fig 5-style overhead summary).  ``--host``
     selects a pusher by node path; the default is the Collect Agent.
 
-``python -m repro.cli check [--config FILE]... [--lint]``
-    Statically analyze configuration files (deployment specs, plugin
-    blocks — JSON or Python scripts containing them) and/or run the
-    repo-specific AST lint pass, **without executing anything**.  Exits
-    non-zero when errors are found; ``--format json`` emits the
-    diagnostics machine-readably.  Rules: ``docs/STATIC_ANALYSIS.md``.
+``python -m repro.cli check [--config FILE]... [--lint] [--runtime FILE]...``
+    Analyze configuration files (deployment specs, plugin blocks — JSON
+    or Python scripts containing them), run the repo-specific AST lint
+    pass, and/or execute a **bounded sanitized run** of a deployment
+    spec (``--runtime``) hunting lock-order inversions, unit-state
+    races and invariant violations (R-series rules).  ``--fail-on``
+    picks the severity that makes the exit code non-zero; ``--format
+    json`` emits the diagnostics machine-readably (with a
+    ``schema_version`` field).  Rules: ``docs/STATIC_ANALYSIS.md``.
+
+Setting ``WINTERMUTE_SANITIZE=1`` in the environment runs any *other*
+subcommand (``run``, ``report``, ...) under the same runtime sanitizer,
+printing findings to stderr without changing the exit code.
 
 ``run --snapshot out.npz`` additionally archives the Collect Agent's
 storage to a compressed file loadable with ``StorageBackend.load``.
@@ -215,8 +222,21 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+#: Version of the ``check --format json`` document layout.  The
+#: original unversioned output counts as version 1; version 2 added
+#: this field itself plus runtime (R-series) diagnostics.
+CHECK_SCHEMA_VERSION = 2
+
+#: Severities that fail the check, per ``--fail-on`` threshold.
+_FAIL_LEVELS = {
+    "error": ("error",),
+    "warning": ("error", "warning"),
+    "info": ("error", "warning", "info"),
+}
+
+
 def cmd_check(args) -> int:
-    """`check`: static analysis of configs and/or the AST lint pass."""
+    """`check`: static/lint/runtime analysis of configs and sources."""
     import os
     from dataclasses import replace
 
@@ -231,9 +251,9 @@ def cmd_check(args) -> int:
         sort_key,
     )
 
-    if not args.config and not args.lint:
-        print("check: nothing to do (pass --config FILE and/or --lint)",
-              file=sys.stderr)
+    if not args.config and not args.lint and not args.runtime:
+        print("check: nothing to do (pass --config FILE, --lint and/or "
+              "--runtime FILE)", file=sys.stderr)
         return 2
     diags = []
     for path in args.config or []:
@@ -267,22 +287,42 @@ def cmd_check(args) -> int:
             os.path.dirname(os.path.abspath(repro.__file__))
         ]
         diags.extend(lint_paths(targets))
+    runtime_events = {}
+    for path in args.runtime or []:
+        from repro.sanitizer import run_runtime_check
+
+        result = run_runtime_check(path, duration_s=args.runtime_duration)
+        diags.extend(
+            replace(d, file=d.file or path) for d in result.diagnostics
+        )
+        runtime_events[path] = result.events
 
     diags.sort(key=sort_key)
     counts = count_by_severity(diags)
-    failing = counts["error"] + (counts["warning"] if args.strict else 0)
+    fail_on = args.fail_on
+    if args.strict and fail_on == "error":
+        fail_on = "warning"  # --strict predates and implies --fail-on warning
+    failing = sum(counts[s] for s in _FAIL_LEVELS[fail_on])
     exit_code = 1 if failing else 0
     if args.format == "json":
-        print(json.dumps({
+        doc = {
+            "schema_version": CHECK_SCHEMA_VERSION,
             "diagnostics": [d.to_dict() for d in diags],
             "summary": counts,
             "exit_code": exit_code,
-        }, indent=2))
+        }
+        if runtime_events:
+            doc["runtime"] = runtime_events
+        print(json.dumps(doc, indent=2))
         return exit_code
     for diag in diags:
         if diag.severity == "info" and args.quiet:
             continue
         print(diag.format())
+    for path, events in runtime_events.items():
+        print(f"runtime {path}: {events.get('compute_passes', 0)} passes, "
+              f"{events.get('lock_acquisitions', 0)} lock acquisitions, "
+              f"{events.get('views_tracked', 0)} views tracked")
     print(f"check: {counts['error']} error(s), {counts['warning']} "
           f"warning(s), {counts['info']} info")
     return exit_code
@@ -389,11 +429,20 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--lint", action="store_true",
-        help="run the repo-specific AST lint rules (L001..L004)",
+        help="run the repo-specific AST lint rules (L001..L006)",
     )
     p_check.add_argument(
         "--lint-path", action="append", default=[], metavar="PATH",
         help="file or directory to lint (default: the repro package)",
+    )
+    p_check.add_argument(
+        "--runtime", action="append", default=[], metavar="FILE",
+        help="deployment spec to execute under the runtime sanitizer "
+             "(bounded run; R-series rules); repeatable",
+    )
+    p_check.add_argument(
+        "--runtime-duration", type=float, default=10.0,
+        help="simulated seconds per --runtime run (default 10)",
     )
     p_check.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -404,8 +453,12 @@ def make_parser() -> argparse.ArgumentParser:
         help="unit-cardinality threshold for W014 (default 10000)",
     )
     p_check.add_argument(
+        "--fail-on", choices=("error", "warning", "info"), default="error",
+        help="lowest severity that fails the check (default error)",
+    )
+    p_check.add_argument(
         "--strict", action="store_true",
-        help="treat warnings as failures (exit 1)",
+        help="treat warnings as failures (same as --fail-on warning)",
     )
     p_check.add_argument(
         "-q", "--quiet", action="store_true",
@@ -422,10 +475,33 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_sanitized(args) -> int:
+    """Run a subcommand under the runtime sanitizer (WINTERMUTE_SANITIZE).
+
+    Findings go to stderr; the subcommand's own exit code is preserved —
+    the env var is an observability switch, `check --runtime` is the
+    gating path.
+    """
+    from repro.sanitizer import make_sanitizer
+
+    san = make_sanitizer()
+    with san.activate():
+        code = args.fn(args)
+    findings = san.finish()
+    for diag in findings:
+        print(diag.format(), file=sys.stderr)
+    print(f"sanitizer: {len(findings)} finding(s)", file=sys.stderr)
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for `wintermute-sim` / `python -m repro.cli`."""
+    from repro.sanitizer import hooks
+
     args = make_parser().parse_args(argv)
     try:
+        if hooks.env_enabled() and args.command != "check":
+            return _run_sanitized(args)
         return args.fn(args)
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe: not an error.

@@ -25,8 +25,15 @@ class SensorNavigator:
 
     @classmethod
     def from_topics(cls, topics: Iterable[str]) -> "SensorNavigator":
-        """Build a navigator directly from sensor topics."""
-        return cls(SensorTree.from_topics(topics))
+        """Build a navigator directly from sensor topics.
+
+        The tree is frozen once built: host sensor spaces change by
+        :meth:`rebuild` (a fresh tree), never by in-place mutation —
+        units resolved against the old tree hold references into it.
+        """
+        tree = SensorTree.from_topics(topics)
+        tree.freeze()
+        return cls(tree)
 
     @property
     def tree(self) -> SensorTree:
@@ -39,7 +46,9 @@ class SensorNavigator:
         Hosts call this when their sensor space changes — e.g. when a
         pipeline stage starts producing new operator-output sensors.
         """
-        self._tree = SensorTree.from_topics(topics)
+        tree = SensorTree.from_topics(topics)
+        tree.freeze()
+        self._tree = tree
 
     # ------------------------------------------------------------------
     # Navigation

@@ -32,6 +32,7 @@ from repro.dcdb.sensor import Sensor
 from repro.core.queryengine import QueryEngine
 from repro.core.tree import SensorTree
 from repro.core.units import Unit, UnitResolver
+from repro.sanitizer import hooks
 from repro.telemetry import Histogram, MetricRegistry
 
 MODES = ("online", "ondemand")
@@ -251,10 +252,14 @@ class OperatorBase:
         if self.config.unit_mode == "sequential":
             if self._shared_model is None:
                 self._shared_model = self.make_model()
-            return self._shared_model
-        model = self._unit_models.get(unit.name)
-        if model is None:
-            model = self._unit_models[unit.name] = self.make_model()
+            model = self._shared_model
+        else:
+            model = self._unit_models.get(unit.name)
+            if model is None:
+                model = self._unit_models[unit.name] = self.make_model()
+        san = hooks.CURRENT
+        if san is not None:
+            san.on_model_access(self, unit, model)
         return model
 
     # ------------------------------------------------------------------
@@ -274,6 +279,9 @@ class OperatorBase:
         """One full computation pass over all units (online path)."""
         if not self.enabled:
             return []
+        san = hooks.CURRENT
+        if san is not None:
+            san.begin_pass(self)
         t0 = time.perf_counter_ns()
         results = self._compute_results(ts)
         self._store_results(ts, results)
@@ -283,6 +291,8 @@ class OperatorBase:
         self._m_busy.inc(elapsed)
         self._m_latency.observe(elapsed)
         self._m_unit_results.inc(len(results))
+        if san is not None:
+            san.end_pass(self)
         return results
 
     def _compute_results(self, ts: int) -> List[UnitResult]:
@@ -323,8 +333,14 @@ class OperatorBase:
         return results
 
     def _compute_one(self, unit: Unit, ts: int) -> Optional[UnitResult]:
+        san = hooks.CURRENT
         try:
-            values = self.compute_unit(unit, ts)
+            if san is None:
+                values = self.compute_unit(unit, ts)
+            else:
+                values = san.watch_unit_compute(
+                    self, unit, lambda: self.compute_unit(unit, ts)
+                )
         except (QueryError, PluginError, ValueError, KeyError) as exc:
             # A failing unit must not take down the operator: count it
             # and move on, like the production framework's error path.

@@ -29,6 +29,7 @@ from repro.common.errors import ConfigError, QueryError
 from repro.dcdb.cache import CacheView, SensorCache
 from repro.dcdb.virtual import VirtualSensor, VirtualSensorRegistry
 from repro.core.navigator import SensorNavigator
+from repro.sanitizer import hooks
 from repro.telemetry import MetricRegistry
 
 #: Host callback returning the cache for a topic (or None).
@@ -164,7 +165,11 @@ class QueryEngine:
         """
         t0 = time.perf_counter_ns()
         try:
-            return self._query_relative(topic, offset_ns)
+            view = self._query_relative(topic, offset_ns)
+            san = hooks.CURRENT
+            if san is not None:
+                san.on_query_view(topic, view)
+            return view
         finally:
             self._m_latency_rel.observe(time.perf_counter_ns() - t0)
 
@@ -202,7 +207,11 @@ class QueryEngine:
         """
         t0 = time.perf_counter_ns()
         try:
-            return self._query_absolute(topic, start_ts, end_ts)
+            view = self._query_absolute(topic, start_ts, end_ts)
+            san = hooks.CURRENT
+            if san is not None:
+                san.on_query_view(topic, view)
+            return view
         finally:
             self._m_latency_abs.observe(time.perf_counter_ns() - t0)
 

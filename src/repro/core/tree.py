@@ -18,6 +18,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.common.errors import TopicError
 from repro.common.topics import join_topic, split_topic
+from repro.sanitizer import hooks
 
 
 class TreeNode:
@@ -77,6 +78,29 @@ class SensorTree:
         self._by_path: Dict[str, TreeNode] = {"/": self.root}
         self._by_level: Dict[int, List[TreeNode]] = {}
         self._sensor_count = 0
+        self._frozen = False
+
+    def freeze(self) -> None:
+        """Mark construction finished: the tree is read-only from here.
+
+        Pattern-resolved units hold direct references into the tree, so
+        mutating it after unit resolution silently invalidates them.
+        The flag is advisory — mutations still apply (legacy callers
+        keep working) but the runtime sanitizer records each one as a
+        read-only-after-build violation (rule R008).
+        """
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the tree has been marked read-only."""
+        return self._frozen
+
+    def _note_mutation(self, action: str, topic: str) -> None:
+        if self._frozen:
+            san = hooks.CURRENT
+            if san is not None:
+                san.on_tree_mutation(action, topic)
 
     # ------------------------------------------------------------------
     # Construction
@@ -112,6 +136,7 @@ class SensorTree:
         belong to a component (the paper's root holds e.g. ``db-uptime``,
         which we model as a sensor on the root).
         """
+        self._note_mutation("add_sensor", topic)
         parts = split_topic(topic)
         name = parts[-1]
         if len(parts) == 1:
@@ -129,11 +154,13 @@ class SensorTree:
 
     def add_component(self, path: str) -> TreeNode:
         """Insert a (possibly sensor-less) component node."""
+        self._note_mutation("add_component", path)
         return self._ensure_component(split_topic(path))
 
     def remove_sensor(self, topic: str) -> bool:
         """Remove a sensor; empty components are retained (cheap, and
         unit resolution only looks at levels/sensors)."""
+        self._note_mutation("remove_sensor", topic)
         parts = split_topic(topic)
         comp_path = "/" if len(parts) == 1 else join_topic(parts[:-1])
         node = self._by_path.get(comp_path)

@@ -23,6 +23,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.common.errors import TopicError
 from repro.common.topics import split_topic
+from repro.sanitizer import hooks
 
 #: Callback signature for subscribers: (topic, payload, timestamp_ns).
 MessageHandler = Callable[[str, float, int], None]
@@ -153,6 +154,10 @@ class Broker:
             raise TopicError(f"wildcards not allowed in publish topic {topic!r}")
         if retain:
             self._retained[topic] = Message(topic, value, timestamp)
+        # Fan-out runs arbitrary subscriber callbacks of unbounded cost
+        # — the in-process stand-in for a network send.  Holding a lock
+        # across it is the classic lock-across-I/O hazard (rule R002).
+        hooks.note_blocking("Broker.publish (subscriber fan-out)")
         self.published_count += 1
         delivered = self._dispatch(self._root, parts, 0, topic, value, timestamp)
         self.delivered_count += delivered

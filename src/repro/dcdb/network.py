@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.common.errors import ConfigError
 from repro.dcdb.mqtt import Broker
+from repro.sanitizer import hooks
 from repro.simulator.clock import TaskScheduler
 
 
@@ -66,6 +67,12 @@ class NetworkConditions:
         self.jitter_ns = int(jitter_ns)
         self.drop_probability = float(drop_probability)
         self._rng = np.random.default_rng(seed)
+        # Guards the counters and the RNG: the link is shared by every
+        # Pusher on the deployment, and under a WallClockDriver those
+        # publishes arrive from multiple threads.  Never held across
+        # ``broker.publish`` — the fan-out runs subscriber callbacks of
+        # unbounded cost (see rule R002).
+        self._lock = hooks.make_lock("NetworkConditions")
         self.sent = 0
         self.dropped = 0
         self.delivered = 0
@@ -82,19 +89,26 @@ class NetworkConditions:
 
     def publish(self, topic: str, value: float, timestamp: int) -> None:
         """Send one message through the link."""
-        self.sent += 1
-        if self.drop_probability and self._rng.random() < self.drop_probability:
-            self.dropped += 1
-            return
-        if self.latency_ns == 0:
+        with self._lock:
+            self.sent += 1
+            if (
+                self.drop_probability
+                and self._rng.random() < self.drop_probability
+            ):
+                self.dropped += 1
+                return
+            latency = self._sample_latency() if self.latency_ns else 0
+        if latency == 0:
             self.broker.publish(topic, value, timestamp)
-            self.delivered += 1
+            with self._lock:
+                self.delivered += 1
             return
-        due = self.scheduler.clock.now + self._sample_latency()
+        due = self.scheduler.clock.now + latency
 
         def deliver(ts: int, t=topic, v=value, orig=timestamp) -> None:
             self.broker.publish(t, v, orig)
-            self.delivered += 1
+            with self._lock:
+                self.delivered += 1
 
         self.scheduler.add_once("net-delivery", deliver, due)
 
@@ -109,8 +123,10 @@ class NetworkConditions:
     @property
     def in_flight(self) -> int:
         """Messages sent but not yet delivered or dropped."""
-        return self.sent - self.dropped - self.delivered
+        with self._lock:
+            return self.sent - self.dropped - self.delivered
 
     def loss_rate(self) -> float:
         """Observed drop fraction so far."""
-        return self.dropped / self.sent if self.sent else 0.0
+        with self._lock:
+            return self.dropped / self.sent if self.sent else 0.0

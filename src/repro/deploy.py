@@ -160,6 +160,16 @@ class Deployment:
 
     # ------------------------------------------------------------------
 
+    def all_hosts(self):
+        """Every cache-holding component: node pushers, the facility
+        pusher (when attached) and the collect agent.  Used by the
+        runtime sanitizer's whole-deployment cache scans."""
+        hosts = list(self.pushers.values())
+        if self.facility_pusher is not None:
+            hosts.append(self.facility_pusher)
+        hosts.append(self.agent)
+        return hosts
+
     @property
     def now(self) -> int:
         """Current simulation time in nanoseconds."""

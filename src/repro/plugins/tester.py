@@ -13,10 +13,18 @@ Params:
         ``relative``); selects the O(1) vs O(log N) engine path.
     ``range_ns`` / ``range_ms`` (number): temporal range per query;
         0 retrieves only the most recent value of each sensor.
+    ``misbehave`` (str): **fault injection** for sanitizer validation;
+        deliberately violates one concurrency invariant per computation:
+        ``shared_model`` (one model object aliased across parallel
+        units, rule R004), ``self_state`` (operator attribute rebound
+        inside ``compute_unit``, rule R005), ``wall_clock`` (host clock
+        read during compute, rule R009) or ``mutate_view`` (writes into
+        a query result after hand-out, rule R007).  Default off.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict
 
 from repro.common.errors import ConfigError
@@ -24,6 +32,9 @@ from repro.common.timeutil import NS_PER_MS
 from repro.core.operator import OperatorBase, OperatorConfig
 from repro.core.registry import operator_plugin
 from repro.core.units import Unit
+
+#: Deliberate invariant violations the tester can inject on request.
+MISBEHAVE_MODES = ("shared_model", "self_state", "wall_clock", "mutate_view")
 
 
 @operator_plugin("tester")
@@ -49,6 +60,21 @@ class TesterOperator(OperatorBase):
             self.range_ns = int(params.get("range_ms", 0) * NS_PER_MS)
         if self.range_ns < 0:
             raise ConfigError(f"{config.name}: range must be >= 0")
+        self.misbehave = params.get("misbehave")
+        if self.misbehave is not None and self.misbehave not in MISBEHAVE_MODES:
+            raise ConfigError(
+                f"{config.name}: misbehave must be one of "
+                f"{', '.join(MISBEHAVE_MODES)}"
+            )
+        # The aliased "model" behind the shared_model fault: every unit
+        # receives this same dict, reproducing the classic bug of a model
+        # cached on the plugin instead of placed per-unit.
+        self._bug_model: Dict[str, int] = {}
+
+    def make_model(self):
+        if self.misbehave == "shared_model":
+            return self._bug_model
+        return None
 
     def compute_unit(self, unit: Unit, ts: int) -> Dict[str, float]:
         assert self.engine is not None
@@ -56,6 +82,7 @@ class TesterOperator(OperatorBase):
         n_inputs = len(unit.inputs)
         if n_inputs == 0:
             return {}
+        view = None
         for q in range(self.n_queries):
             topic = unit.inputs[q % n_inputs]
             if self.query_mode == "relative":
@@ -65,4 +92,24 @@ class TesterOperator(OperatorBase):
                     topic, ts - self.range_ns, ts
                 )
             retrieved += len(view)
+        self._inject_fault(unit, ts, view)
         return {sensor.name: float(retrieved) for sensor in unit.outputs}
+
+    def _inject_fault(self, unit: Unit, ts: int, view) -> None:
+        """Deliberately violate the invariant selected by ``misbehave``.
+
+        Each branch is a *bug on purpose*, kept for sanitizer validation;
+        the lint suppressions below acknowledge the static rules that
+        would (correctly) flag the same hazards.
+        """
+        if self.misbehave is None:
+            return
+        if self.misbehave == "shared_model":
+            model = self.model_for(unit)
+            model[unit.name] = ts  # concurrent writes to the aliased dict
+        elif self.misbehave == "self_state":
+            self.last_unit_seen = unit.name  # lint: allow(L004)
+        elif self.misbehave == "wall_clock":
+            _ = time.time()  # lint: allow(L002)
+        elif self.misbehave == "mutate_view" and view is not None and len(view):
+            view.values()[0] += 1.0

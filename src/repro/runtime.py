@@ -18,6 +18,7 @@ import time
 from typing import Optional
 
 from repro.common.timeutil import NS_PER_SEC
+from repro.sanitizer import hooks
 from repro.simulator.clock import TaskScheduler
 
 
@@ -46,7 +47,7 @@ class WallClockDriver:
         self.tick_s = float(tick_s)
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
-        self._lock = threading.Lock()
+        self._lock = hooks.make_lock("WallClockDriver")
 
     # ------------------------------------------------------------------
 
@@ -70,6 +71,10 @@ class WallClockDriver:
         """Stop the driver and join its thread."""
         self._stop.set()
         if self._thread is not None:
+            # Joining can wait up to a full driver tick; a caller doing
+            # this while holding locks (e.g. inside pause()) stalls every
+            # contender — surfaced by the sanitizer as rule R002.
+            hooks.note_blocking("WallClockDriver.stop (thread join)")
             self._thread.join(timeout)
             self._thread = None
 
@@ -86,9 +91,27 @@ class WallClockDriver:
             time.sleep(self.tick_s)
             elapsed = time.monotonic() - anchor_wall
             target = anchor_sim + int(elapsed * self.speedup * NS_PER_SEC)
+            self._advance(target)
+
+    def _advance(self, target: int) -> None:
+        """Advance the scheduler to ``target`` in bounded locked slices.
+
+        The driver used to hold the lock for one monolithic
+        ``run_until(target)``: after any stall (host hiccup, slow
+        operator, large speedup) the accumulated backlog drained under
+        the lock in a single unbounded hold, starving ``pause()``
+        readers for its whole duration — exactly the long-hold
+        violation rule R003 flags.  Slicing caps each hold at one
+        tick's worth of simulated time and lets readers interleave
+        between slices.
+        """
+        max_slice = max(1, int(self.speedup * self.tick_s * NS_PER_SEC))
+        while not self._stop.is_set():
             with self._lock:
-                if target > self.scheduler.clock.now:
-                    self.scheduler.run_until(target)
+                now = self.scheduler.clock.now
+                if target <= now:
+                    return
+                self.scheduler.run_until(min(target, now + max_slice))
 
     # ------------------------------------------------------------------
 

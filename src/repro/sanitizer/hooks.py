@@ -1,0 +1,60 @@
+"""Global hook point connecting production seams to the sanitizer.
+
+The runtime concurrency sanitizer (:mod:`repro.sanitizer`) is strictly
+opt-in; production classes must pay nothing when it is off.  The
+contract is this module: seams read the module attribute :data:`CURRENT`
+(one attribute load) and only call into the sanitizer when it is not
+``None``.  ``CURRENT`` is set by :meth:`Sanitizer.activate
+<repro.sanitizer.core.Sanitizer.activate>` and cleared on exit, so a
+disabled run executes exactly one ``is None`` branch per seam — the
+zero-cost-when-disabled property the Fig 5 benchmark asserts.
+
+This module is intentionally dependency-free (standard library only):
+hot-path modules — the operator base class, the Query Engine, the sensor
+cache hosts — import it at module load and must not drag the whole
+sanitizer (or anything that imports *them*) into their import graph.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+#: Environment variable enabling the sanitizer for whole CLI runs.
+ENV_VAR = "WINTERMUTE_SANITIZE"
+
+#: The active sanitizer instance, or ``None`` when disabled.  Seams read
+#: this directly: ``san = hooks.CURRENT`` / ``if san is not None: ...``.
+CURRENT = None
+
+
+def env_enabled() -> bool:
+    """Whether ``WINTERMUTE_SANITIZE`` requests sanitizer activation."""
+    value = os.environ.get(ENV_VAR, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+def make_lock(name: str):
+    """A lock for ``name``: plain when disabled, tracked when active.
+
+    Construction-time choice: components built while a sanitizer is
+    active get a :class:`~repro.sanitizer.locks.TrackedLock` feeding the
+    lock-order graph; otherwise a plain ``threading.Lock`` with zero
+    instrumentation.  Both support ``with``/``acquire``/``release``.
+    """
+    san = CURRENT
+    if san is None:
+        return threading.Lock()
+    return san.make_lock(name)
+
+
+def note_blocking(description: str) -> None:
+    """Mark a blocking call (thread join, file/socket I/O, sleep).
+
+    When a sanitizer is active and the calling thread holds tracked
+    locks, this records a lock-held-across-blocking-call violation
+    (rule R002).  No-op otherwise.
+    """
+    san = CURRENT
+    if san is not None:
+        san.on_blocking_call(description)

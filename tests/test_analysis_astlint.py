@@ -197,6 +197,138 @@ class TestComputeState:
         assert diags == []
 
 
+class TestThreadLifecycle:
+    def test_thread_without_daemon_or_join_flagged(self):
+        diags = lint("""
+        import threading
+
+        class Runner:
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+        """, path="src/repro/core/x.py")
+        assert codes(diags) == ["L005"]
+        assert "daemon" in diags[0].message
+
+    def test_daemon_kwarg_ok(self):
+        diags = lint("""
+        import threading
+
+        class Runner:
+            def start(self):
+                self._thread = threading.Thread(
+                    target=self._loop, daemon=True
+                )
+                self._thread.start()
+        """, path="src/repro/core/x.py")
+        assert diags == []
+
+    def test_join_in_same_class_ok(self):
+        diags = lint("""
+        import threading
+
+        class Runner:
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+
+            def stop(self):
+                self._thread.join()
+        """, path="src/repro/core/x.py")
+        assert diags == []
+
+    def test_str_join_does_not_count(self):
+        diags = lint("""
+        import threading
+
+        class Runner:
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+
+            def label(self, parts):
+                return ", ".join(parts)
+        """, path="src/repro/core/x.py")
+        assert codes(diags) == ["L005"]
+
+    def test_module_level_thread_flagged(self):
+        diags = lint("""
+        import threading
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        """, path="src/repro/core/x.py")
+        assert codes(diags) == ["L005"]
+
+    def test_suppression(self):
+        diags = lint("""
+        import threading
+
+        class Runner:
+            def start(self):
+                t = threading.Thread(target=run)  # lint: allow(L005)
+                t.start()
+        """, path="src/repro/core/x.py")
+        assert diags == []
+
+
+class TestSleepInCompute:
+    def test_sleep_in_compute_unit_flagged(self):
+        diags = lint("""
+        import time
+        from repro.core.registry import operator_plugin
+
+        @operator_plugin("x")
+        class XOperator:
+            def compute_unit(self, unit, ts):
+                time.sleep(0.1)
+                return {}
+        """, path="src/repro/core/x.py")
+        assert codes(diags) == ["L006"]
+        assert "sleep" in diags[0].message
+
+    def test_bare_sleep_flagged(self):
+        diags = lint("""
+        from time import sleep
+
+        class XOperator(OperatorBase):
+            def trigger(self, ts):
+                sleep(1)
+        """, path="src/repro/core/x.py")
+        assert codes(diags) == ["L006"]
+
+    def test_sleep_outside_compute_path_ok(self):
+        diags = lint("""
+        import time
+
+        class XOperator(OperatorBase):
+            def wait_for_warmup(self):
+                time.sleep(0.1)
+        """, path="src/repro/core/x.py")
+        assert diags == []
+
+    def test_sleep_in_non_operator_class_ok(self):
+        diags = lint("""
+        import time
+
+        class Driver:
+            def compute(self):
+                time.sleep(0.1)
+        """, path="src/repro/core/x.py")
+        assert diags == []
+
+    def test_suppression(self):
+        diags = lint("""
+        import time
+
+        class XOperator(OperatorBase):
+            def compute_unit(self, unit, ts):
+                time.sleep(0.1)  # lint: allow(L006)
+                return {}
+        """, path="src/repro/core/x.py")
+        assert diags == []
+
+
 class TestSuppressionAndEntryPoints:
     def test_allow_comment_suppresses(self):
         diags = lint("""

@@ -1,0 +1,168 @@
+"""Tests for lock-order tracking and lock-related R-rules (R001-R003)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.sanitizer import hooks, make_sanitizer
+from repro.sanitizer.locks import LockOrderGraph
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestLockOrderGraph:
+    def test_cycle_detected(self):
+        g = LockOrderGraph()
+        g.add_edge("A", "B", "t1", "x.py:1")
+        g.add_edge("B", "A", "t2", "y.py:2")
+        assert g.cycles() == [["A", "B"]]
+
+    def test_cycle_reported_once_regardless_of_rotation(self):
+        g = LockOrderGraph()
+        g.add_edge("B", "A", "t2", "y.py:2")
+        g.add_edge("A", "B", "t1", "x.py:1")
+        assert len(g.cycles()) == 1
+
+    def test_acyclic_order_is_clean(self):
+        g = LockOrderGraph()
+        g.add_edge("A", "B", "t1", "x.py:1")
+        g.add_edge("B", "C", "t1", "x.py:2")
+        g.add_edge("A", "C", "t2", "y.py:3")
+        assert g.cycles() == []
+
+    def test_three_lock_cycle(self):
+        g = LockOrderGraph()
+        g.add_edge("A", "B", "t1", "s")
+        g.add_edge("B", "C", "t2", "s")
+        g.add_edge("C", "A", "t3", "s")
+        assert g.cycles() == [["A", "B", "C"]]
+
+
+class TestLockInversion:
+    def test_r001_from_conflicting_acquisition_orders(self):
+        """Two threads taking A/B in opposite orders -> R001, without
+        needing the fatal interleaving to actually occur."""
+        san = make_sanitizer(track_wall_clock=False)
+        with san.activate():
+            a = hooks.make_lock("A")
+            b = hooks.make_lock("B")
+
+            def forward():
+                with a:
+                    with b:
+                        pass
+
+            def backward():
+                with b:
+                    with a:
+                        pass
+
+            t1 = threading.Thread(target=forward)
+            t1.start()
+            t1.join()
+            t2 = threading.Thread(target=backward)
+            t2.start()
+            t2.join()
+        diags = san.finish()
+        assert codes(diags) == ["R001"]
+        assert "A -> B -> A" in diags[0].message
+
+    def test_consistent_order_is_clean(self):
+        san = make_sanitizer(track_wall_clock=False)
+        with san.activate():
+            a = hooks.make_lock("A")
+            b = hooks.make_lock("B")
+            for _ in range(3):
+                with a:
+                    with b:
+                        pass
+        assert san.finish() == []
+
+    def test_self_deadlock_reported_not_hung(self):
+        san = make_sanitizer(track_wall_clock=False)
+        with san.activate():
+            a = hooks.make_lock("A")
+            assert a.acquire()
+            # The second acquire would block forever on a plain Lock;
+            # the tracked one reports and refuses.
+            assert a.acquire() is False
+            a.release()
+        diags = san.finish()
+        assert codes(diags) == ["R001"]
+        assert "self-deadlock" in diags[0].message
+
+
+class TestBlockingUnderLock:
+    def test_r002_note_blocking_while_holding(self):
+        san = make_sanitizer(track_wall_clock=False)
+        with san.activate():
+            a = hooks.make_lock("A")
+            with a:
+                hooks.note_blocking("socket send")
+        diags = san.finish()
+        assert codes(diags) == ["R002"]
+        assert "socket send" in diags[0].message
+        assert "A" in diags[0].message
+
+    def test_r002_sleep_under_lock_via_timepatch(self):
+        san = make_sanitizer()
+        with san.activate():
+            a = hooks.make_lock("A")
+            with a:
+                time.sleep(0.001)
+        diags = san.finish()
+        assert "R002" in codes(diags)
+        r002 = next(d for d in diags if d.code == "R002")
+        assert "time.sleep" in r002.message
+        # Attributed to this test, not the sanitizer's sleep shim.
+        assert r002.file.endswith("test_sanitizer_locks.py")
+
+    def test_blocking_without_lock_is_clean(self):
+        san = make_sanitizer(track_wall_clock=False)
+        with san.activate():
+            hooks.note_blocking("socket send")
+        assert san.finish() == []
+
+
+class TestLongHold:
+    def test_r003_over_threshold(self):
+        san = make_sanitizer(long_hold_ms=1.0, track_wall_clock=False)
+        with san.activate():
+            a = hooks.make_lock("A")
+            with a:
+                time.sleep(0.02)
+        diags = san.finish()
+        assert codes(diags) == ["R003"]
+        assert diags[0].severity == "warning"
+        assert "A" in diags[0].message
+
+    def test_short_hold_is_clean(self):
+        san = make_sanitizer(long_hold_ms=5000.0, track_wall_clock=False)
+        with san.activate():
+            a = hooks.make_lock("A")
+            with a:
+                pass
+        assert san.finish() == []
+
+
+class TestZeroCostWhenDisabled:
+    def test_make_lock_returns_plain_lock(self):
+        assert hooks.CURRENT is None
+        lock = hooks.make_lock("X")
+        assert isinstance(lock, type(threading.Lock()))
+
+    def test_note_blocking_is_noop(self):
+        assert hooks.CURRENT is None
+        hooks.note_blocking("anything")  # must not raise
+
+    def test_activation_is_exclusive(self):
+        san1 = make_sanitizer(track_wall_clock=False)
+        san2 = make_sanitizer(track_wall_clock=False)
+        with san1.activate():
+            with pytest.raises(RuntimeError):
+                with san2.activate():
+                    pass
+        assert hooks.CURRENT is None
