@@ -1,0 +1,168 @@
+"""Micro/ablation M6 — scalar vs batched unit execution.
+
+The PR-4 tentpole claim: pushing a whole operator pass through one
+compiled-plan batch query plus row-wise NumPy kernels beats the scalar
+per-unit loop (one Python-level ``query_relative`` + reduction per unit)
+by a widening margin as unit counts grow.  This bench drives an
+aggregator operator over warm caches at 64 / 1000 / 4000 units and
+times a full ``compute`` pass — queries, kernels and the batched store
+fan-out included — on both paths.
+
+Shape expectation: ≥ 3x lower per-pass cost for the batch path at 1000
+units (the Section III-C scaling regime; at 64 units the fixed costs
+dominate and the factor is smaller).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import (
+    print_header,
+    print_table,
+    shape_check,
+    write_bench_artifact,
+)
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.operator import OperatorConfig
+from repro.core.queryengine import QueryEngine
+from repro.core.units import Unit
+from repro.dcdb.cache import SensorCache
+from repro.dcdb.sensor import Sensor
+from repro.plugins.aggregator import AggregatorOperator
+
+UNIT_COUNTS = (64, 1000, 4000)
+WINDOW_NS = 30 * NS_PER_SEC
+CACHE_SLOTS = 64
+FILL = 40  # readings per cache: window fully covered, ring part-full
+
+
+class ArrayHost:
+    """Warm caches only — the minimal query/store host for one operator."""
+
+    def __init__(self, n_units: int) -> None:
+        self.caches = {}
+        ts = np.arange(FILL, dtype=np.int64) * NS_PER_SEC
+        rng = np.random.default_rng(0xBA7C4)
+        for i in range(n_units):
+            cache = SensorCache(CACHE_SLOTS, interval_ns=NS_PER_SEC)
+            cache.store_batch(ts, rng.random(FILL))
+            self.caches[f"/n{i}/power"] = cache
+        self.stored = 0
+
+    def cache_for(self, topic):
+        return self.caches.get(topic)
+
+    @property
+    def storage(self):
+        return None
+
+    def sensor_topics(self):
+        return list(self.caches)
+
+    def store_reading(self, sensor, ts, value):
+        self.stored += 1
+
+    def store_readings_batch(self, ts, readings):
+        self.stored += len(readings)
+
+
+def make_operator(n_units: int, batch) -> AggregatorOperator:
+    host = ArrayHost(n_units)
+    op = AggregatorOperator(
+        OperatorConfig(
+            name=f"agg-{n_units}",
+            window_ns=WINDOW_NS,
+            batch=batch,
+            params={"ops": {"*": "mean"}},
+        )
+    )
+    op.bind(host, QueryEngine(host))
+    op.set_units(
+        [
+            Unit(
+                name=f"/n{i}",
+                level=0,
+                inputs=[f"/n{i}/power"],
+                outputs=[Sensor(f"/n{i}/avg", is_operator_output=True)],
+            )
+            for i in range(n_units)
+        ]
+    )
+    op.start()
+    return op
+
+
+def time_per_pass(op: AggregatorOperator, reps: int) -> float:
+    now = FILL * NS_PER_SEC
+    op.compute(now)  # warm the plan cache / interpreter state
+    t0 = time.perf_counter_ns()
+    for i in range(reps):
+        op.compute(now + i)
+    return (time.perf_counter_ns() - t0) / reps
+
+
+class TestUnitBatchExecution:
+    def test_batch_beats_scalar(self, benchmark):
+        print_header("M6 - scalar vs batched operator pass cost")
+        rows = []
+        results = {}
+        for n in UNIT_COUNTS:
+            reps = max(3, 2000 // n)
+            scalar_ns = time_per_pass(make_operator(n, batch=False), reps)
+            batch_ns = time_per_pass(make_operator(n, batch=True), reps)
+            speedup = scalar_ns / batch_ns
+            results[n] = {
+                "scalar_ns_per_pass": scalar_ns,
+                "batch_ns_per_pass": batch_ns,
+                "speedup": speedup,
+            }
+            rows.append((n, scalar_ns / 1e3, batch_ns / 1e3, f"{speedup:.1f}x"))
+        print_table(["units", "scalar us", "batch us", "speedup"], rows)
+        write_bench_artifact(
+            "batch",
+            {
+                "bench": "bench_micro_unit_batch",
+                "window_s": WINDOW_NS // NS_PER_SEC,
+                "per_units": results,
+            },
+        )
+        assert shape_check(
+            "batch path >= 3x cheaper at 1000 units",
+            results[1000]["speedup"] >= 3.0,
+            f"{results[1000]['speedup']:.1f}x",
+        )
+        assert shape_check(
+            "batch advantage grows with unit count",
+            results[4000]["speedup"] >= results[64]["speedup"],
+            f"{results[64]['speedup']:.1f}x @64 -> "
+            f"{results[4000]['speedup']:.1f}x @4000",
+        )
+        op = make_operator(1000, batch=True)
+        benchmark(op.compute, FILL * NS_PER_SEC)
+
+    def test_batch_and_scalar_agree(self):
+        """The speedup is only meaningful if both paths compute the same
+        thing — spot-check the stored outputs match at 64 units."""
+        ops = {b: make_operator(64, batch=b) for b in (False, True)}
+        outs = {}
+        for b, op in ops.items():
+            results = op.compute(FILL * NS_PER_SEC)
+            outs[b] = {r.unit.name: r.values for r in results}
+        assert outs[False] == outs[True]
+
+    def test_sanitizer_off_on_measurement_path(self):
+        """Same pin as Fig 5: the numbers above measure the production
+        path, not a sanitizer-instrumented one (which would force the
+        batch path through the scalar fallback and void the comparison).
+        """
+        from repro.sanitizer import hooks
+
+        assert hooks.CURRENT is None
+        op = make_operator(64, batch=True)
+        assert op.batch_enabled()
+        op.compute(FILL * NS_PER_SEC)
+        assert hooks.CURRENT is None

@@ -10,6 +10,8 @@ crossovers fall) mirror the paper's conclusions.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -22,7 +24,12 @@ __all__ = [
     "print_table",
     "print_heatmap",
     "shape_check",
+    "write_bench_artifact",
 ]
+
+#: Where ``write_bench_artifact`` drops its JSON files (the repo root,
+#: next to RESULTS.txt consumers; ``BENCH_*.json`` is gitignored).
+ARTIFACT_DIR = Path(__file__).resolve().parent.parent
 
 
 def print_header(title: str) -> None:
@@ -56,6 +63,31 @@ def print_heatmap(
     for label, row in zip(row_labels, values):
         cells = "".join(f"{cell_fmt.format(v):>{width}}" for v in row)
         print(f"{str(label):>12}{cells}")
+
+
+def write_bench_artifact(name: str, payload: dict) -> Path:
+    """Persist one benchmark's machine-readable results as JSON.
+
+    Artifacts land in the repo root as ``BENCH_<name>.json`` so CI (or a
+    later session) can diff numbers without re-parsing stdout.  NumPy
+    scalars/arrays in ``payload`` are converted to plain Python types.
+    """
+
+    def _plain(obj):
+        if isinstance(obj, dict):
+            return {str(k): _plain(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [_plain(v) for v in obj]
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, np.generic):
+            return obj.item()
+        return obj
+
+    path = ARTIFACT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(_plain(payload), indent=2) + "\n")
+    print(f"  artifact: {path.name}")
+    return path
 
 
 def shape_check(name: str, condition: bool, detail: str = "") -> bool:

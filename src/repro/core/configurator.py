@@ -61,6 +61,7 @@ KNOWN_OPERATOR_KEYS = frozenset(
         "params",
         "max_workers",
         "unit_cadence",
+        "batch",
         "relaxed",
         "publish_outputs",
     }
@@ -136,6 +137,13 @@ def collect_operator_diagnostics(
     for key in _BOOL_FIELDS:
         if key in block and not isinstance(block[key], bool):
             out.at(key).error("W005", f"{key} must be a bool")
+    if "batch" in block and not (
+        isinstance(block["batch"], bool) or block["batch"] == "auto"
+    ):
+        out.at("batch").error(
+            "W005",
+            f"batch must be true, false or 'auto', got {block['batch']!r}",
+        )
     for key in ("inputs", "outputs", "operator_outputs"):
         if key not in block:
             continue
@@ -187,7 +195,7 @@ def parse_operator_config(name: str, block: dict) -> OperatorConfig:
         window_ns=_read_time(block, "window", 0),
         delay_ns=_read_time(block, "delay", 0),
     )
-    for key in ("mode", "unit_mode", "max_workers", "unit_cadence"):
+    for key in ("mode", "unit_mode", "max_workers", "unit_cadence", "batch"):
         if key in block:
             kwargs[key] = block[key]
     for key in _BOOL_FIELDS:

@@ -22,6 +22,7 @@ class SensorNavigator:
 
     def __init__(self, tree: Optional[SensorTree] = None) -> None:
         self._tree = tree if tree is not None else SensorTree()
+        self._rebuilds = 0
 
     @classmethod
     def from_topics(cls, topics: Iterable[str]) -> "SensorNavigator":
@@ -40,6 +41,17 @@ class SensorNavigator:
         """The underlying sensor tree (shared, not copied)."""
         return self._tree
 
+    @property
+    def generation(self) -> tuple:
+        """Sensor-space generation: changes whenever the navigator is
+        rebuilt *or* the current tree is mutated in place (hot-plug).
+
+        Compiled query plans compare this value to decide staleness;
+        anything cheaper (object identity of the tree) misses in-place
+        mutations, anything coarser forces needless recompiles.
+        """
+        return (self._rebuilds, self._tree.generation)
+
     def rebuild(self, topics: Iterable[str]) -> None:
         """Replace the tree with one built from ``topics``.
 
@@ -49,6 +61,7 @@ class SensorNavigator:
         tree = SensorTree.from_topics(topics)
         tree.freeze()
         self._tree = tree
+        self._rebuilds += 1
 
     # ------------------------------------------------------------------
     # Navigation

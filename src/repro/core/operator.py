@@ -24,12 +24,12 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError, PluginError, QueryError
 from repro.common.timeutil import NS_PER_SEC
 from repro.dcdb.sensor import Sensor
-from repro.core.queryengine import QueryEngine
+from repro.core.queryengine import BatchWindow, QueryEngine
 from repro.core.tree import SensorTree
 from repro.core.units import Unit, UnitResolver
 from repro.sanitizer import hooks
@@ -37,6 +37,7 @@ from repro.telemetry import Histogram, MetricRegistry
 
 MODES = ("online", "ondemand")
 UNIT_MODES = ("sequential", "parallel")
+BATCH_MODES = (True, False, "auto")
 
 
 @dataclass
@@ -58,6 +59,12 @@ class OperatorConfig:
         unit_cadence: compute each unit only every Nth pass, staggered
             by unit index — spreads the load of operators with very
             large unit sets across intervals (1 = every pass).
+        batch: ``"auto"`` (default) uses the vectorized
+            :meth:`OperatorBase.compute_batch` path when the plugin
+            declares ``supports_batch``; ``True`` forces the batch path
+            even through the default per-unit fallback; ``False`` pins
+            the scalar path.  The runtime sanitizer always computes
+            scalar so its per-unit hooks keep firing.
         inputs / outputs: pattern expressions of the operator's units.
         operator_outputs: names of operator-level aggregate outputs.
         params: plugin-specific parameters.
@@ -73,6 +80,7 @@ class OperatorConfig:
     publish_outputs: bool = True
     max_workers: int = 1
     unit_cadence: int = 1
+    batch: object = "auto"
     inputs: List[str] = field(default_factory=list)
     outputs: List[str] = field(default_factory=list)
     operator_outputs: List[str] = field(default_factory=list)
@@ -99,6 +107,11 @@ class OperatorConfig:
             raise ConfigError(
                 f"operator {self.name}: unit_cadence must be >= 1"
             )
+        if self.batch not in BATCH_MODES:
+            raise ConfigError(
+                f"operator {self.name}: batch must be true, false or "
+                f"'auto', not {self.batch!r}"
+            )
 
 
 class UnitResult(NamedTuple):
@@ -108,6 +121,11 @@ class UnitResult(NamedTuple):
     values: Dict[str, float]
 
 
+def _unit_inputs(unit: Unit) -> List[str]:
+    """Default topic extractor for :meth:`OperatorBase.batch_window`."""
+    return unit.inputs
+
+
 class OperatorBase:
     """Base class for all Wintermute operator plugins.
 
@@ -115,7 +133,16 @@ class OperatorBase:
     :meth:`make_model` and :meth:`compute_operator_outputs`).  The base
     class handles unit resolution, model placement (shared vs per-unit),
     scheduling hooks, result storage and bookkeeping.
+
+    Plugins with a vectorized :meth:`compute_batch` set the class
+    attribute ``supports_batch = True``; the ``batch`` config knob then
+    routes whole passes through one kernel over a
+    :class:`~repro.core.queryengine.BatchWindow` instead of U per-unit
+    Python calls.
     """
+
+    #: Whether the plugin ships a vectorized :meth:`compute_batch`.
+    supports_batch = False
 
     def __init__(self, config: OperatorConfig) -> None:
         self.config = config
@@ -126,6 +153,7 @@ class OperatorBase:
         self._shared_model = None
         self._unit_models: Dict[str, object] = {}
         self._operator_output_sensors: List[Sensor] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
         self.last_errors: List[str] = []
         # Unbound operators instrument against a private registry; bind()
         # migrates the accrued values into the host's registry so every
@@ -228,12 +256,32 @@ class OperatorBase:
         ]
 
     def start(self) -> None:
-        """Enable computation (the manager schedules the task)."""
+        """Enable computation (the manager schedules the task).
+
+        Parallel operators acquire their worker pool here: one
+        persistent :class:`ThreadPoolExecutor` owned for the operator's
+        whole enabled lifetime, not one per pass — the M4 ablation showed
+        per-pass pool construction costing more than the work it ran.
+        """
         self.enabled = True
+        if self._uses_pool() and self._pool is None:
+            self._pool = self._make_pool()
 
     def stop(self) -> None:
         """Disable computation; the task stays registered but idle."""
         self.enabled = False
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _uses_pool(self) -> bool:
+        return self.config.unit_mode == "parallel" and self.config.max_workers > 1
+
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            self.config.max_workers,
+            thread_name_prefix=f"op-{self.name}",
+        )
 
     # ------------------------------------------------------------------
     # Models
@@ -295,42 +343,136 @@ class OperatorBase:
             san.end_pass(self)
         return results
 
-    def _compute_results(self, ts: int) -> List[UnitResult]:
-        """Produce the pass's unit results.
-
-        The default iterates units under the configured unit mode;
-        cross-unit operators (e.g. clustering, which fits one model over
-        all units' features) may override it wholesale.
-        """
-        results: List[UnitResult] = []
+    def _due_units(self) -> List[Unit]:
+        """Units owed a computation this pass (cadence staggering)."""
         cadence = self.config.unit_cadence
         if cadence > 1:
             phase = self.compute_count % cadence
-            due_units = [
-                u for i, u in enumerate(self.units) if i % cadence == phase
+            return [u for i, u in enumerate(self.units) if i % cadence == phase]
+        return self.units
+
+    def batch_enabled(self) -> bool:
+        """Whether this pass runs through :meth:`compute_batch`.
+
+        The sanitizer vetoes batching unconditionally: its per-unit
+        compute watcher and per-view invariant checks only exist on the
+        scalar path.
+        """
+        if hooks.CURRENT is not None:
+            return False
+        batch = self.config.batch
+        if batch is True:
+            return True
+        return bool(batch == "auto" and self.supports_batch)
+
+    def _compute_results(self, ts: int) -> List[UnitResult]:
+        """Produce the pass's unit results.
+
+        The default iterates units under the configured unit mode (or
+        hands the whole due set to :meth:`compute_batch`); cross-unit
+        operators (e.g. clustering, which fits one model over all units'
+        features) may override it wholesale.
+        """
+        due_units = self._due_units()
+        if self.batch_enabled():
+            return self._compute_results_batch(due_units, ts)
+        results: List[UnitResult] = []
+        if self._uses_pool() and len(due_units) > 1:
+            pool = self._pool
+            if pool is None:
+                # Enabled without start() (tests drive compute directly).
+                pool = self._pool = self._make_pool()
+            n = len(due_units)
+            workers = min(self.config.max_workers, n)
+            chunk = (n + workers - 1) // workers
+            futures = [
+                pool.submit(self._compute_chunk, due_units[lo:lo + chunk], ts)
+                for lo in range(0, n, chunk)
             ]
-        else:
-            due_units = self.units
-        if (
-            self.config.unit_mode == "parallel"
-            and self.config.max_workers > 1
-            and len(due_units) > 1
-        ):
-            with ThreadPoolExecutor(self.config.max_workers) as pool:
-                futures = [
-                    pool.submit(self._compute_one, unit, ts)
-                    for unit in due_units
-                ]
-                for future in futures:
-                    result = future.result()
-                    if result is not None:
-                        results.append(result)
+            for future in futures:
+                results.extend(future.result())
         else:
             for unit in due_units:
                 result = self._compute_one(unit, ts)
                 if result is not None:
                     results.append(result)
         return results
+
+    def _compute_chunk(self, units: Sequence[Unit], ts: int) -> List[UnitResult]:
+        """One worker's contiguous share of a parallel pass.
+
+        Chunking keeps the future count at ``max_workers`` instead of U,
+        and gathering chunks in submission order preserves unit order in
+        the result list exactly like the sequential path.
+        """
+        out = []
+        for unit in units:
+            result = self._compute_one(unit, ts)
+            if result is not None:
+                out.append(result)
+        return out
+
+    def _compute_results_batch(
+        self, due_units: List[Unit], ts: int
+    ) -> List[UnitResult]:
+        """Batched pass: one :meth:`compute_batch` call for all units.
+
+        A batch-wide failure degrades to the per-unit scalar loop for
+        the pass, so a kernel bug costs performance, never output.
+        """
+        try:
+            return self.compute_batch(due_units, ts)
+        except (QueryError, PluginError, ValueError, KeyError) as exc:
+            self._m_errors.inc()
+            self.last_errors = (
+                self.last_errors + [f"<batch>: {exc}"]
+            )[-16:]
+            results = []
+            for unit in due_units:
+                result = self._compute_one(unit, ts)
+                if result is not None:
+                    results.append(result)
+            return results
+
+    def compute_batch(self, units: Sequence[Unit], ts: int) -> List[UnitResult]:
+        """Compute every unit of a pass in one call.
+
+        Vectorizing plugins override this (and set ``supports_batch``)
+        with a kernel over :meth:`batch_window`'s stacked matrix.  The
+        default preserves exact scalar semantics by delegating to
+        :meth:`compute_unit` per unit, including its error accounting.
+        """
+        results = []
+        for unit in units:
+            result = self._compute_one(unit, ts)
+            if result is not None:
+                results.append(result)
+        return results
+
+    def batch_window(
+        self, units: Sequence[Unit], topics_of=None
+    ) -> Tuple[BatchWindow, List[range]]:
+        """Fetch all the units' input windows in one batched query.
+
+        Returns ``(window, slices)`` where ``slices[j]`` is the
+        ``range(lo, hi)`` of rows in ``window`` holding unit ``j``'s
+        inputs, in the unit's input order.  The underlying query plan is
+        cached per operator and invalidated by sensor-space generation
+        moves, so steady-state passes resolve zero topic names.
+        """
+        if topics_of is None:
+            topics_of = _unit_inputs
+        topics: List[str] = []
+        slices: List[range] = []
+        for unit in units:
+            unit_topics = topics_of(unit)
+            lo = len(topics)
+            topics.extend(unit_topics)
+            slices.append(range(lo, len(topics)))
+        window = self.engine.query_relative_batch(
+            topics, self.config.window_ns, key=f"operator:{self.name}"
+        )
+        return window, slices
 
     def _compute_one(self, unit: Unit, ts: int) -> Optional[UnitResult]:
         san = hooks.CURRENT
@@ -344,21 +486,49 @@ class OperatorBase:
         except (QueryError, PluginError, ValueError, KeyError) as exc:
             # A failing unit must not take down the operator: count it
             # and move on, like the production framework's error path.
-            self._m_errors.inc()
-            self.last_errors = (self.last_errors + [f"{unit.name}: {exc}"])[-16:]
+            self._record_unit_error(unit, exc)
             return None
         if not values:
             return None
         return UnitResult(unit, values)
 
+    def _record_unit_error(self, unit: Unit, exc: Exception) -> None:
+        """Count one failed unit without aborting the pass.
+
+        Batch kernels call this for rows the scalar path would have
+        errored on (e.g. all input sensors missing), keeping the two
+        paths' error accounting identical.
+        """
+        self._m_errors.inc()
+        self.last_errors = (self.last_errors + [f"{unit.name}: {exc}"])[-16:]
+
     def _store_results(self, ts: int, results: List[UnitResult]) -> None:
         if self.host is None:
+            return
+        if self.batch_enabled() and hasattr(self.host, "store_readings_batch"):
+            self.store_results_batch(ts, results)
             return
         for unit, values in results:
             for sensor in unit.outputs:
                 value = values.get(sensor.name)
                 if value is not None:
                     self.host.store_reading(sensor, ts, float(value))
+
+    def store_results_batch(self, ts: int, results: List[UnitResult]) -> None:
+        """Hand a whole pass's readings to the host in one call.
+
+        Preserves the scalar path's (unit, output) emission order, so
+        cache contents and MQTT publish order are unchanged — only the
+        per-reading call overhead is amortized.
+        """
+        readings = []
+        for unit, values in results:
+            for sensor in unit.outputs:
+                value = values.get(sensor.name)
+                if value is not None:
+                    readings.append((sensor, float(value)))
+        if readings:
+            self.host.store_readings_batch(ts, readings)
 
     def _store_operator_outputs(self, ts: int, results: List[UnitResult]) -> None:
         if not self._operator_output_sensors or self.host is None:

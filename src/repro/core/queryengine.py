@@ -21,7 +21,7 @@ receive zero-copy array windows regardless of the data's origin.
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +34,126 @@ from repro.telemetry import MetricRegistry
 
 #: Host callback returning the cache for a topic (or None).
 CacheLookup = Callable[[str], Optional[SensorCache]]
+
+#: Row kinds of a compiled plan (see :class:`QueryPlan`).
+_ROW_CACHE = 0    # direct ring-buffer binding, O(1) tail copy per tick
+_ROW_SCALAR = 1   # storage/virtual/interval-less cache: scalar query
+_ROW_MISS = 2     # unresolvable at compile time: always empty
+
+
+class BatchWindow:
+    """Result of one batched relative query: U topics x W window slots.
+
+    Rows are **right-aligned**: the newest reading of topic ``i`` sits in
+    column ``W - 1`` and its ``counts[i]`` valid readings occupy the
+    columns ``[W - counts[i], W)``.  Invalid slots hold NaN values and
+    zero timestamps.  The arrays are freshly allocated per query, so a
+    window is a snapshot in the same sense a :class:`CacheView` is.
+
+    A row with ``counts[i] == 0`` means the scalar path
+    (:meth:`QueryEngine.query_relative`) would have raised
+    :class:`QueryError` for that topic at the same instant.
+    """
+
+    __slots__ = ("topics", "values", "timestamps", "counts", "width")
+
+    def __init__(
+        self,
+        topics: Sequence[str],
+        values: np.ndarray,
+        timestamps: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        self.topics = tuple(topics)
+        self.values = values
+        self.timestamps = timestamps
+        self.counts = counts
+        self.width = int(values.shape[1])
+
+    def __len__(self) -> int:
+        return len(self.topics)
+
+    @property
+    def mask(self) -> np.ndarray:
+        """Boolean validity mask, True where a slot holds a reading."""
+        return np.arange(self.width) >= (self.width - self.counts[:, None])
+
+    def row_values(self, i: int) -> np.ndarray:
+        """The valid value segment of row ``i``, oldest-first (a view)."""
+        return self.values[i, self.width - int(self.counts[i]):]
+
+    def row_timestamps(self, i: int) -> np.ndarray:
+        """The valid timestamp segment of row ``i``, oldest-first."""
+        return self.timestamps[i, self.width - int(self.counts[i]):]
+
+    def last_values(self) -> np.ndarray:
+        """Newest value per row (NaN where a row is empty)."""
+        return self.values[:, -1]
+
+    def newest_timestamps(self) -> np.ndarray:
+        """Newest timestamp per row (0 where a row is empty)."""
+        return self.timestamps[:, -1]
+
+
+class QueryPlan:
+    """A compiled batched query: topic -> data-source bindings.
+
+    Built once per operator (at ``init_units``/tree-change time) and
+    reused every tick until the sensor-space generation moves on.  A
+    plan removes *all* per-tick name resolution: cache rows hold direct
+    references to the ring buffers plus the precomputed window length
+    (``offset // interval + 1``, the paper's O(1) relative arithmetic),
+    so executing a plan performs zero dict lookups and zero re-parsing.
+
+    Rows come in three kinds:
+
+    - *cache*: an interval-hinted local cache; the tick path copies the
+      ring tail straight into the result matrix.
+    - *scalar*: virtual sensors, interval-less caches and topics only a
+      storage backend can serve; executed through the scalar query path
+      (correct, not fast).
+    - *miss*: topics unresolvable when the plan was compiled.  They stay
+      empty until a sensor-space change bumps the generation and forces
+      a recompile — exactly the staleness the generation counter exists
+      to bound.
+    """
+
+    __slots__ = (
+        "topics", "window_ns", "width", "rows", "generation",
+        "cache_rows", "scalar_rows", "miss_rows",
+    )
+
+    def __init__(
+        self,
+        topics: Tuple[str, ...],
+        window_ns: int,
+        width: int,
+        rows: List[tuple],
+        generation: tuple,
+    ) -> None:
+        self.topics = topics
+        self.window_ns = window_ns
+        self.width = width
+        self.rows = rows
+        self.generation = generation
+        # Pre-split by kind so execution loops touch only the rows they
+        # serve (the cache loop is the per-tick hot path and must not
+        # branch over scalar/miss rows at 1000s of units).
+        self.cache_rows: List[tuple] = []
+        self.scalar_rows: List[tuple] = []
+        self.miss_rows: List[int] = []
+        for i, (kind, payload, count) in enumerate(rows):
+            if kind == _ROW_CACHE:
+                self.cache_rows.append((i, payload, count))
+            elif kind == _ROW_SCALAR:
+                self.scalar_rows.append((i, payload))
+            else:
+                self.miss_rows.append(i)
+
+    @property
+    def n_cache_rows(self) -> int:
+        """Rows served by direct ring-buffer bindings."""
+        return sum(1 for kind, _, _ in self.rows if kind == _ROW_CACHE)
 
 
 class QueryEngine:
@@ -72,6 +192,15 @@ class QueryEngine:
         self._m_latency_abs = self.telemetry.histogram(
             "qe_query_latency_ns", mode="absolute"
         )
+        self._m_latency_batch = self.telemetry.histogram(
+            "qe_query_latency_ns", mode="batch"
+        )
+        self._m_plan_compiles = self.telemetry.counter("qe_plan_compiles_total")
+        self._m_plan_hits = self.telemetry.counter("qe_plan_hits_total")
+        self._m_plan_invalidations = self.telemetry.counter(
+            "qe_plan_invalidations_total"
+        )
+        self._plans: Dict[object, QueryPlan] = {}
         self.virtual = VirtualSensorRegistry()
         self._virtual_in_flight: set = set()
 
@@ -250,6 +379,201 @@ class QueryEngine:
     ) -> List[CacheView]:
         """Absolute-mode query over several sensors at once."""
         return [self.query_absolute(t, start_ts, end_ts) for t in topics]
+
+    # ------------------------------------------------------------------
+    # Batched queries (compiled plans)
+    # ------------------------------------------------------------------
+
+    def compile_plan(
+        self, topics: Sequence[str], window_ns: int
+    ) -> QueryPlan:
+        """Resolve ``topics`` into a :class:`QueryPlan` for ``window_ns``.
+
+        Resolution order mirrors the scalar path exactly: virtual sensor,
+        then local cache, then storage backend.  Interval-hinted caches
+        become direct ring-buffer bindings; everything else degrades to a
+        scalar row so batch results stay byte-identical to U scalar
+        queries issued at the same instant.
+        """
+        if window_ns < 0:
+            raise QueryError(f"negative relative offset: {window_ns}")
+        gen = self._navigator.generation
+        rows: List[tuple] = []
+        width = 1
+        has_storage = self._host.storage is not None
+        for topic in topics:
+            if self.virtual.get(topic) is not None:
+                rows.append((_ROW_SCALAR, topic, 0))
+                continue
+            cache = self._host.cache_for(topic)
+            if cache is None:
+                kind = _ROW_SCALAR if has_storage else _ROW_MISS
+                rows.append((kind, topic, 0))
+                continue
+            if cache.interval_ns <= 0:
+                # No sampling interval hint: the relative window needs a
+                # binary search per tick, which the scalar path provides.
+                rows.append((_ROW_SCALAR, topic, 0))
+                continue
+            count = window_ns // cache.interval_ns + 1 if window_ns else 1
+            count = min(int(count), cache.capacity)
+            rows.append((_ROW_CACHE, cache, count))
+            width = max(width, count)
+        self._m_plan_compiles.inc()
+        return QueryPlan(tuple(topics), int(window_ns), width, rows, gen)
+
+    def plan_for(
+        self, key: object, topics: Sequence[str], window_ns: int
+    ) -> QueryPlan:
+        """Cached :meth:`compile_plan`, invalidated by sensor-space moves.
+
+        A cached plan is reused only while the navigator generation, the
+        topic tuple and the window all match; any mismatch recompiles in
+        place and counts as an invalidation.
+        """
+        topics = tuple(topics)
+        plan = self._plans.get(key)
+        if plan is not None:
+            if (
+                plan.generation == self._navigator.generation
+                and plan.window_ns == window_ns
+                and plan.topics == topics
+            ):
+                self._m_plan_hits.inc()
+                return plan
+            self._m_plan_invalidations.inc()
+        plan = self.compile_plan(topics, window_ns)
+        self._plans[key] = plan
+        return plan
+
+    def query_relative_batch(
+        self,
+        topics: Sequence[str],
+        window_ns: int,
+        key: object = None,
+    ) -> BatchWindow:
+        """Batched :meth:`query_relative` over ``topics`` (the hot path).
+
+        Returns a :class:`BatchWindow` whose row ``i`` holds exactly the
+        readings ``query_relative(topics[i], window_ns)`` would return;
+        topics the scalar path would raise :class:`QueryError` for come
+        back as empty rows (``counts[i] == 0``) instead.
+
+        ``key`` names the plan-cache slot (operators pass a stable
+        per-operator key); without one the slot is derived from the query
+        itself.  When the runtime sanitizer is active the batch is served
+        through the scalar path so per-view invariant checks still fire.
+        """
+        t0 = time.perf_counter_ns()
+        try:
+            if hooks.CURRENT is not None:
+                return self._batch_via_scalar(topics, window_ns)
+            if key is None:
+                key = ("auto", tuple(topics), int(window_ns))
+            plan = self.plan_for(key, topics, window_ns)
+            return self._execute_plan(plan)
+        finally:
+            self._m_latency_batch.observe(time.perf_counter_ns() - t0)
+
+    def _batch_via_scalar(
+        self, topics: Sequence[str], window_ns: int
+    ) -> BatchWindow:
+        """Correctness-path batch: U instrumented scalar queries."""
+        fetched = []
+        width = 1
+        for topic in topics:
+            try:
+                view = self.query_relative(topic, window_ns)
+                ts, val = view.timestamps(), view.values()
+            except QueryError:
+                ts, val = None, None
+            fetched.append((ts, val))
+            if ts is not None:
+                width = max(width, len(ts))
+        return self._assemble(topics, fetched, width)
+
+    def _execute_plan(self, plan: QueryPlan) -> BatchWindow:
+        """Run a compiled plan: zero lookups on the cache-bound rows."""
+        width = plan.width
+        # Scalar rows first — their result length can exceed the planned
+        # width (storage backends are not capacity-bounded).  Cache-bound
+        # rows whose ring emptied since compile time degrade the same way.
+        scalar: Dict[int, tuple] = {}
+        for i, topic in plan.scalar_rows:
+            try:
+                view = self._query_relative(topic, plan.window_ns)
+                ts, val = view.timestamps(), view.values()
+                scalar[i] = (ts, val)
+                width = max(width, len(ts))
+            except QueryError:
+                scalar[i] = (None, None)
+        for i, cache, _count in plan.cache_rows:
+            if cache._size:
+                continue
+            try:
+                view = self._query_relative(plan.topics[i], plan.window_ns)
+                ts, val = view.timestamps(), view.values()
+                scalar[i] = (ts, val)
+                width = max(width, len(ts))
+            except QueryError:
+                scalar[i] = (None, None)
+        if plan.miss_rows:
+            self._m_misses.inc(len(plan.miss_rows))
+        u = len(plan.rows)
+        values = np.full((u, width), np.nan, dtype=np.float64)
+        timestamps = np.zeros((u, width), dtype=np.int64)
+        counts = np.zeros(u, dtype=np.int64)
+        hits = 0
+        for i, cache, count in plan.cache_rows:
+            size = cache._size
+            if not size:
+                continue  # filled from the scalar dict below
+            # Direct ring read: the _tail_view arithmetic, written into
+            # the result matrix without intermediate view objects.
+            n = count if count < size else size
+            head = cache._head
+            cap = cache._cap
+            start = (head - n) % cap
+            end = (head - 1) % cap + 1
+            col = width - n
+            if start < end:
+                timestamps[i, col:] = cache._ts[start:end]
+                values[i, col:] = cache._val[start:end]
+            else:
+                k = cap - start
+                timestamps[i, col:col + k] = cache._ts[start:]
+                values[i, col:col + k] = cache._val[start:]
+                timestamps[i, col + k:] = cache._ts[:end]
+                values[i, col + k:] = cache._val[:end]
+            counts[i] = n
+            hits += 1
+        for i, (ts, val) in scalar.items():
+            if ts is not None and len(ts):
+                n = len(ts)
+                timestamps[i, width - n:] = ts
+                values[i, width - n:] = val
+                counts[i] = n
+        if hits:
+            self._m_hits.inc(hits)
+        return BatchWindow(plan.topics, values, timestamps, counts)
+
+    @staticmethod
+    def _assemble(
+        topics: Sequence[str], fetched: List[tuple], width: int
+    ) -> BatchWindow:
+        """Pack per-topic (ts, val) pairs into a right-aligned window."""
+        u = len(fetched)
+        values = np.full((u, width), np.nan, dtype=np.float64)
+        timestamps = np.zeros((u, width), dtype=np.int64)
+        counts = np.zeros(u, dtype=np.int64)
+        for i, (ts, val) in enumerate(fetched):
+            if ts is None or not len(ts):
+                continue
+            n = len(ts)
+            timestamps[i, width - n:] = ts
+            values[i, width - n:] = val
+            counts[i] = n
+        return BatchWindow(topics, values, timestamps, counts)
 
     # ------------------------------------------------------------------
     # Derived conveniences used by several plugins

@@ -79,6 +79,18 @@ class SensorTree:
         self._by_level: Dict[int, List[TreeNode]] = {}
         self._sensor_count = 0
         self._frozen = False
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter: bumps on every add/remove, frozen or not.
+
+        Compiled query plans and other structures derived from the tree
+        record the generation they were built against and treat any
+        difference as staleness — including hot-plugged sensors added
+        after :meth:`freeze`.
+        """
+        return self._generation
 
     def freeze(self) -> None:
         """Mark construction finished: the tree is read-only from here.
@@ -97,6 +109,7 @@ class SensorTree:
         return self._frozen
 
     def _note_mutation(self, action: str, topic: str) -> None:
+        self._generation += 1
         if self._frozen:
             san = hooks.CURRENT
             if san is not None:

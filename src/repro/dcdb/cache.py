@@ -77,9 +77,18 @@ class CacheView:
         return len(self) > 0
 
     def __iter__(self) -> Iterator[SensorReading]:
-        for ts, val in self._segments:
-            for i in range(len(ts)):
-                yield SensorReading(int(ts[i]), float(val[i]))
+        return iter(self.readings())
+
+    def readings(self) -> "list[SensorReading]":
+        """All readings oldest-first as a list.
+
+        Converts both columns with a single ``tolist()`` each — per-slot
+        ``int(ts[i])``/``float(val[i])`` indexing boxes one NumPy scalar
+        per element and dominates iteration-heavy plugin loops.
+        """
+        ts = self.timestamps().tolist()
+        val = self.values().tolist()
+        return [SensorReading(t, v) for t, v in zip(ts, val)]
 
     def timestamps(self) -> np.ndarray:
         """All timestamps oldest-first (concatenated once, then cached)."""

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 
 from repro.common.timeutil import NS_PER_SEC
 from repro.dcdb.cache import SensorCache
-from repro.dcdb.mqtt import Broker, QueuedSubscriber
+from repro.dcdb.mqtt import Broker, Message, QueuedSubscriber
 from repro.dcdb.restapi import RestApi, RestResponse
 from repro.dcdb.sensor import Sensor
 from repro.dcdb.storage import StorageBackend
@@ -162,6 +162,24 @@ class CollectAgent:
         self._storage.insert(sensor.topic, ts, value)
         if sensor.publish and self.republish_outputs:
             self.broker.publish(sensor.topic, value, ts)
+
+    def store_readings_batch(self, ts, readings) -> None:
+        """Store a whole pass's operator outputs in one call.
+
+        ``readings`` is a sequence of ``(sensor, value)`` pairs sharing
+        one timestamp; cache, storage and republish behaviour match
+        per-reading :meth:`store_reading`, with MQTT republishes (when
+        enabled) collapsed into one broker batch.
+        """
+        to_publish = []
+        for sensor, value in readings:
+            self.sensors[sensor.topic] = sensor
+            self._cache_for_ingest(sensor.topic).store(ts, value)
+            self._storage.insert(sensor.topic, ts, value)
+            if sensor.publish and self.republish_outputs:
+                to_publish.append(Message(sensor.topic, value, ts))
+        if to_publish:
+            self.broker.publish_batch(to_publish)
 
     def cache_for(self, topic: str) -> Optional[SensorCache]:
         """The agent-side cache for ``topic``, if any traffic was seen."""

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 from repro.common.errors import ConfigError, PluginError
 from repro.common.timeutil import NS_PER_SEC
 from repro.dcdb.cache import SensorCache
-from repro.dcdb.mqtt import Broker
+from repro.dcdb.mqtt import Broker, Message
 from repro.dcdb.plugins.base import MonitoringPlugin
 from repro.dcdb.restapi import RestApi, RestResponse
 from repro.dcdb.sensor import Sensor
@@ -188,6 +188,30 @@ class Pusher:
         cache.store(ts, value)
         if sensor.publish:
             self.broker.publish(sensor.topic, value, ts)
+
+    def store_readings_batch(self, ts, readings) -> None:
+        """Store a whole pass's operator outputs in one call.
+
+        ``readings`` is a sequence of ``(sensor, value)`` pairs sharing
+        one timestamp.  Caching behaviour matches per-reading
+        :meth:`store_reading` exactly (lazy cache creation included);
+        publishable readings are collected and handed to the broker as
+        one batch so MQTT fan-out bookkeeping is paid once per pass.
+        """
+        to_publish = []
+        for sensor, value in readings:
+            cache = self.caches.get(sensor.topic)
+            if cache is None:
+                interval = getattr(sensor, "interval_hint_ns", 0) or NS_PER_SEC
+                cache = self.caches[sensor.topic] = SensorCache.for_duration(
+                    self.cache_window_ns, interval
+                )
+                self.sensors[sensor.topic] = sensor
+            cache.store(ts, value)
+            if sensor.publish:
+                to_publish.append(Message(sensor.topic, value, ts))
+        if to_publish:
+            self.broker.publish_batch(to_publish)
 
     def cache_for(self, topic: str) -> Optional[SensorCache]:
         """The cache holding ``topic``'s readings, if locally present."""

@@ -50,11 +50,15 @@ class Sensor:
 
     def __post_init__(self) -> None:
         self.topic = normalize_topic(self.topic)
+        # Memoized: .name sits on the per-reading output path of every
+        # operator pass, and re-splitting the topic there dominates the
+        # batched pipeline's fixed costs at scale.
+        self._name = sensor_name(self.topic)
 
     @property
     def name(self) -> str:
         """The sensor's own name (last topic segment)."""
-        return sensor_name(self.topic)
+        return self._name
 
     def __hash__(self) -> int:
         return hash(self.topic)

@@ -17,12 +17,12 @@ Params:
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
-from repro.common.errors import ConfigError
-from repro.core.operator import OperatorBase, OperatorConfig
+from repro.common.errors import ConfigError, QueryError
+from repro.core.operator import OperatorBase, OperatorConfig, UnitResult
 from repro.core.registry import operator_plugin
 from repro.core.units import Unit
 from repro.dcdb.cache import CacheView
@@ -55,6 +55,20 @@ _SIMPLE_OPS: Dict[str, Callable[[np.ndarray], float]] = {
     "median": lambda v: float(np.median(v)),
     "count": lambda v: float(len(v)),
     "last": lambda v: float(v[-1]),
+}
+
+# Row-wise (axis=1) twins of _SIMPLE_OPS.  NumPy applies the same
+# pairwise reduction per row of a C-contiguous matrix as it does to a
+# 1-D copy of that row, so these match the scalar results bit-for-bit.
+_SIMPLE_OPS_AXIS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "mean": lambda m: m.mean(axis=1),
+    "std": lambda m: m.std(axis=1),
+    "min": lambda m: m.min(axis=1),
+    "max": lambda m: m.max(axis=1),
+    "sum": lambda m: m.sum(axis=1),
+    "median": lambda m: np.median(m, axis=1),
+    "count": lambda m: np.full(m.shape[0], float(m.shape[1])),
+    "last": lambda m: m[:, -1].copy(),
 }
 
 
@@ -103,10 +117,19 @@ class AggregatorOperator(OperatorBase):
             return float(np.percentile(pooled, int(match.group(1))))
         return _SIMPLE_OPS[op](pooled)
 
+    def _op_for(self, sensor_name: str) -> str:
+        op = self._ops.get(sensor_name) or self._ops.get("*")
+        if op is None:
+            raise ConfigError(
+                f"{self.name}: no aggregate configured for output "
+                f"{sensor_name!r}"
+            )
+        return op
+
     def compute_unit(self, unit: Unit, ts: int) -> Dict[str, float]:
         assert self.engine is not None
         views = [
-            self.engine.query_relative(t, self.config.window_ns)
+            self.engine.query_relative(t, self.config.window_ns)  # lint: allow(L007)
             for t in unit.inputs
         ]
         pooled = (
@@ -117,13 +140,115 @@ class AggregatorOperator(OperatorBase):
         # delta/rate act on the first input's window (they are
         # counter-oriented and pooling counters is meaningless).
         first = views[0] if views else CacheView.empty()
-        out: Dict[str, float] = {}
-        for sensor in unit.outputs:
-            op = self._ops.get(sensor.name) or self._ops.get("*")
-            if op is None:
-                raise ConfigError(
-                    f"{self.name}: no aggregate configured for output "
-                    f"{sensor.name!r}"
+        return {
+            sensor.name: self._apply(self._op_for(sensor.name), first, pooled)
+            for sensor in unit.outputs
+        }
+
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+
+    supports_batch = True
+
+    def compute_batch(self, units: Sequence[Unit], ts: int) -> List[UnitResult]:
+        assert self.engine is not None
+        window, slices = self.batch_window(units)
+        n = _uniform_single_input(units, slices, window.counts)
+        if n is not None:
+            return self._batch_uniform(units, slices, window, n)
+        results = []
+        for unit, rows in zip(units, slices):
+            values = self._unit_from_window(unit, rows, window)
+            if values:
+                results.append(UnitResult(unit, values))
+        return results
+
+    def _batch_uniform(self, units, slices, window, n: int) -> List[UnitResult]:
+        """One kernel per aggregate over the stacked single-input rows."""
+        rows = np.fromiter((s[0] for s in slices), dtype=np.intp, count=len(slices))
+        sub = window.values[rows, window.width - n:]
+        tss = window.timestamps[rows, window.width - n:]
+        # tolist() converts each column to plain floats once; per-element
+        # float(np.float64) in the unit loop costs more than the kernels
+        # themselves at 1000s of units.
+        per_op = {
+            op: self._kernel(op, sub, tss, n).tolist()
+            for op in set(self._ops.values())
+        }
+        resolved: Dict[str, list] = {}
+        results = []
+        for j, unit in enumerate(units):
+            values = {}
+            for sensor in unit.outputs:
+                name = sensor.name
+                column = resolved.get(name)
+                if column is None:
+                    column = resolved[name] = per_op[self._op_for(name)]
+                values[name] = column[j]
+            if values:
+                results.append(UnitResult(unit, values))
+        return results
+
+    def _kernel(self, op: str, sub, tss, n: int):
+        if op == "delta":
+            if n < 2:
+                return np.full(sub.shape[0], np.nan)
+            return sub[:, -1] - sub[:, 0]
+        if op == "rate":
+            out = np.full(sub.shape[0], np.nan)
+            if n >= 2:
+                span_s = (tss[:, -1] - tss[:, 0]) / 1e9
+                ok = span_s > 0
+                out[ok] = (sub[ok, -1] - sub[ok, 0]) / span_s[ok]
+            return out
+        match = _QUANTILE_RE.match(op)
+        if match:
+            return np.percentile(sub, int(match.group(1)), axis=1)
+        return _SIMPLE_OPS_AXIS[op](sub)
+
+    def _unit_from_window(self, unit: Unit, rows, window) -> Dict[str, float]:
+        """Scalar-identical evaluation from prefetched window rows.
+
+        Used for units the uniform kernel cannot cover (several inputs,
+        ragged windows): the pooled array and first-input view are built
+        from exactly the arrays the scalar queries would have returned.
+        """
+        segs = []
+        first = CacheView.empty()
+        for r in rows:
+            if not window.counts[r]:
+                # The scalar path raises on its first missing input.
+                self._record_unit_error(
+                    unit, QueryError(f"no data available for sensor {window.topics[r]}")
                 )
-            out[sensor.name] = self._apply(op, first, pooled)
-        return out
+                return {}
+            segs.append(window.row_values(r))
+            if len(segs) == 1:
+                first = CacheView._snapshot_of(
+                    window.row_timestamps(r), window.row_values(r)
+                )
+        pooled = np.concatenate(segs) if segs else np.empty(0)
+        return {
+            sensor.name: self._apply(self._op_for(sensor.name), first, pooled)
+            for sensor in unit.outputs
+        }
+
+
+def _uniform_single_input(units, slices, counts):
+    """Window length when every unit has one input and equal, non-empty
+    windows — the precondition of the stacked-matrix kernels.  None
+    otherwise."""
+    if not units:
+        return None
+    for s in slices:
+        if len(s) != 1:
+            return None
+    rows = [s[0] for s in slices]
+    n = int(counts[rows[0]])
+    if n < 1:
+        return None
+    for r in rows:
+        if counts[r] != n:
+            return None
+    return n

@@ -19,10 +19,12 @@ Params:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigError
-from repro.core.operator import OperatorBase, OperatorConfig
+import numpy as np
+
+from repro.common.errors import ConfigError, QueryError
+from repro.core.operator import OperatorBase, OperatorConfig, UnitResult
 from repro.core.registry import operator_plugin
 from repro.core.units import Unit
 
@@ -75,17 +77,21 @@ class HealthOperator(OperatorBase):
 
     def compute_unit(self, unit: Unit, ts: int) -> Dict[str, float]:
         assert self.engine is not None
-        violated: List[str] = []
+        violated = False
         for topic in unit.inputs:
             name = topic.rsplit("/", 1)[-1]
             if name not in self.bounds:
                 continue
-            view = self.engine.query_relative(topic, self.config.window_ns)
+            view = self.engine.query_relative(topic, self.config.window_ns)  # lint: allow(L007)
             values = view.values()
             if values.size == 0:
                 continue
             if not self._in_bounds(name, float(values.mean())):
-                violated.append(name)
+                violated = True
+        return self._apply_hysteresis(unit, violated)
+
+    def _apply_hysteresis(self, unit: Unit, violated: bool) -> Dict[str, float]:
+        """Advance the unit's trip counter and emit the health bit."""
         violations: Dict[str, int] = self.model_for(unit)
         if violated:
             violations[unit.name] = violations.get(unit.name, 0) + 1
@@ -93,3 +99,57 @@ class HealthOperator(OperatorBase):
             violations[unit.name] = 0
         healthy = violations[unit.name] < self.trip_count
         return {sensor.name: 1.0 if healthy else 0.0 for sensor in unit.outputs}
+
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+
+    supports_batch = True
+
+    def compute_batch(self, units: Sequence[Unit], ts: int) -> List[UnitResult]:
+        """Window means for every bounded input in one batched query.
+
+        Only topics with configured bounds are fetched (the scalar path
+        never queries the rest); a bounded topic with no data errors the
+        unit exactly like the scalar query would.
+        """
+        assert self.engine is not None
+        window, slices = self.batch_window(units, topics_of=self._bounded_inputs)
+        counts = window.counts
+        width = window.width
+        # Row means over the valid tail of each row: with the NaN
+        # padding on the left, nanmean over the full width would change
+        # results for rows containing real NaN readings — use per-row
+        # tail segments instead, which match the scalar reduction.
+        means = np.empty(len(window), dtype=np.float64)
+        for r in range(len(window)):
+            n = int(counts[r])
+            means[r] = window.values[r, width - n:].mean() if n else np.nan
+        results = []
+        for unit, rows in zip(units, slices):
+            violated = False
+            errored = False
+            for r in rows:
+                if not counts[r]:
+                    self._record_unit_error(
+                        unit,
+                        QueryError(
+                            f"no data available for sensor {window.topics[r]}"
+                        ),
+                    )
+                    errored = True
+                    break
+                name = window.topics[r].rsplit("/", 1)[-1]
+                if not self._in_bounds(name, float(means[r])):
+                    violated = True
+            if errored:
+                continue
+            values = self._apply_hysteresis(unit, violated)
+            if values:
+                results.append(UnitResult(unit, values))
+        return results
+
+    def _bounded_inputs(self, unit: Unit) -> List[str]:
+        return [
+            t for t in unit.inputs if t.rsplit("/", 1)[-1] in self.bounds
+        ]

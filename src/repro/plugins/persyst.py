@@ -21,12 +21,12 @@ Params:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.common.errors import ConfigError
-from repro.core.operator import JobOperatorBase, OperatorConfig
+from repro.core.operator import JobOperatorBase, OperatorConfig, UnitResult
 from repro.core.registry import operator_plugin
 from repro.core.units import Unit
 from repro.ml.stats import quantiles as compute_quantiles
@@ -73,7 +73,7 @@ class PerSystOperator(JobOperatorBase):
         samples: List[float] = []
         for topic in unit.inputs:
             try:
-                view = self.engine.query_relative(topic, self.config.window_ns)
+                view = self.engine.query_relative(topic, self.config.window_ns)  # lint: allow(L007)
             except Exception:
                 continue  # a core that has not produced the metric yet
             values = view.values()
@@ -81,7 +81,10 @@ class PerSystOperator(JobOperatorBase):
                 samples.append(float(values[-1]))
         if not samples:
             return {}
-        arr = np.asarray(samples)
+        return self._reduce(np.asarray(samples))
+
+    def _reduce(self, arr: np.ndarray) -> Dict[str, float]:
+        """Quantiles + extra stats of one job's sample distribution."""
         qvals = compute_quantiles(arr, self.quantiles)
         out = {
             quantile_output_name(q): float(v)
@@ -92,3 +95,32 @@ class PerSystOperator(JobOperatorBase):
         if "std" in self.extra_stats:
             out["std"] = float(arr.std())
         return out
+
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+
+    supports_batch = True
+
+    def compute_batch(self, units: Sequence[Unit], ts: int) -> List[UnitResult]:
+        """One batched query gathers every job's newest samples at once.
+
+        The per-core window fetches — by far the dominant cost of the
+        Fig 7 pipeline (2048 samples per 32-node job) — collapse into a
+        single compiled-plan execution; the decile reduction then runs on
+        each job's row of newest values.  Topics with no data yet are
+        skipped exactly like the scalar path's swallowed query errors.
+        """
+        assert self.engine is not None
+        window, slices = self.batch_window(units)
+        last = window.last_values()
+        counts = window.counts
+        results = []
+        for unit, rows in zip(units, slices):
+            idx = np.fromiter(
+                (r for r in rows if counts[r]), dtype=np.intp
+            )
+            if not idx.size:
+                continue
+            results.append(UnitResult(unit, self._reduce(last[idx])))
+        return results

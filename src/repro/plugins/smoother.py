@@ -13,12 +13,12 @@ Params:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.common.errors import ConfigError
-from repro.core.operator import OperatorBase, OperatorConfig
+from repro.common.errors import ConfigError, QueryError
+from repro.core.operator import OperatorBase, OperatorConfig, UnitResult
 from repro.core.registry import operator_plugin
 from repro.core.units import Unit
 
@@ -49,3 +49,61 @@ class SmootherOperator(OperatorBase):
             weights = (1.0 - self.alpha) ** np.arange(len(values) - 1, -1, -1)
             smoothed = float((values * weights).sum() / weights.sum())
         return {sensor.name: smoothed for sensor in unit.outputs}
+
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+
+    supports_batch = True
+
+    def compute_batch(self, units: Sequence[Unit], ts: int) -> List[UnitResult]:
+        assert self.engine is not None
+        # Only each unit's first input is smoothed, exactly as scalar.
+        window, slices = self.batch_window(units, topics_of=_first_input)
+        counts = window.counts
+        rows = [s[0] if len(s) else -1 for s in slices]
+        live = [r for r in rows if r >= 0]
+        uniform = (
+            len(live) == len(units)
+            and len(live) > 0
+            and counts[live].min() == counts[live].max()
+            and counts[live[0]] > 0
+        )
+        if uniform:
+            n = int(counts[live[0]])
+            sub = window.values[np.asarray(live, dtype=np.intp), window.width - n:]
+            if self.alpha is None:
+                smoothed = sub.mean(axis=1)
+            else:
+                weights = (1.0 - self.alpha) ** np.arange(n - 1, -1, -1)
+                smoothed = (sub * weights).sum(axis=1) / weights.sum()
+            results = []
+            for j, unit in enumerate(units):
+                values = {s.name: float(smoothed[j]) for s in unit.outputs}
+                if values:
+                    results.append(UnitResult(unit, values))
+            return results
+        results = []
+        for unit, r in zip(units, rows):
+            if r < 0:
+                continue  # no inputs: scalar returns {} for the unit
+            if not counts[r]:
+                self._record_unit_error(
+                    unit,
+                    QueryError(f"no data available for sensor {window.topics[r]}"),
+                )
+                continue
+            values = window.row_values(r)
+            if self.alpha is None:
+                smoothed = float(values.mean())
+            else:
+                weights = (1.0 - self.alpha) ** np.arange(len(values) - 1, -1, -1)
+                smoothed = float((values * weights).sum() / weights.sum())
+            out = {s.name: smoothed for s in unit.outputs}
+            if out:
+                results.append(UnitResult(unit, out))
+        return results
+
+
+def _first_input(unit: Unit) -> List[str]:
+    return unit.inputs[:1]

@@ -1,0 +1,617 @@
+"""Batched data plane: compiled plans, kernel parity, batched sinks.
+
+Covers the PR-4 tentpole: ``QueryEngine.query_relative_batch`` backed by
+compiled query plans with generation-counter invalidation, vectorized
+``compute_batch`` implementations (bit-for-bit parity with the scalar
+per-unit path), the persistent operator worker pool, and the batched
+store/publish fan-out.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, TopicError
+from repro.common.timeutil import NS_PER_SEC
+from repro.core.operator import OperatorBase, OperatorConfig
+from repro.core.queryengine import QueryEngine
+from repro.dcdb.cache import SensorCache
+from repro.dcdb.mqtt import Broker, Message
+from repro.dcdb.pusher import Pusher
+from repro.dcdb.sensor import Sensor
+from repro.core.units import Unit
+from repro.plugins.aggregator import AggregatorOperator
+from repro.plugins.health import HealthOperator
+from repro.plugins.persyst import PerSystOperator
+from repro.plugins.smoother import SmootherOperator
+from repro.sanitizer import hooks
+from repro.simulator.clock import TaskScheduler
+
+WINDOW = 5 * NS_PER_SEC
+NOW = 100 * NS_PER_SEC
+
+
+class Host:
+    """Minimal query/store host over hand-built caches."""
+
+    def __init__(self, topic_readings):
+        self.caches = {}
+        self.stored = []
+        for topic, readings in topic_readings.items():
+            cache = SensorCache(64, interval_ns=NS_PER_SEC)
+            for ts, value in readings:
+                cache.store(ts, value)
+            self.caches[topic] = cache
+
+    def cache_for(self, topic):
+        return self.caches.get(topic)
+
+    @property
+    def storage(self):
+        return None
+
+    def sensor_topics(self):
+        return sorted(self.caches)
+
+    def store_reading(self, sensor, ts, value):
+        self.stored.append((sensor.topic, ts, value))
+
+
+def series(n, scale=1.0, start_ts=0):
+    """n noisy-but-deterministic readings, one per second."""
+    return [
+        (start_ts + i * NS_PER_SEC, math.sin(i * 0.7) * scale + i * 0.01)
+        for i in range(n)
+    ]
+
+
+def make_unit(name, inputs, out_names):
+    return Unit(
+        name=name,
+        level=0,
+        inputs=list(inputs),
+        outputs=[
+            Sensor(f"{name}/{o}", is_operator_output=True) for o in out_names
+        ],
+    )
+
+
+def bound(op_cls, config, host, **kwargs):
+    op = op_cls(config, **kwargs)
+    op.bind(host, QueryEngine(host))
+    return op
+
+
+def assert_same_results(scalar, batch):
+    assert [r.unit.name for r in scalar] == [r.unit.name for r in batch]
+    for rs, rb in zip(scalar, batch):
+        assert set(rs.values) == set(rb.values)
+        for key in rs.values:
+            vs, vb = rs.values[key], rb.values[key]
+            if math.isnan(vs) or math.isnan(vb):
+                assert math.isnan(vs) and math.isnan(vb), (key, vs, vb)
+            else:
+                assert vs == vb, (key, vs, vb)
+
+
+def run_both(op_cls, cfg_kwargs, units, topic_readings, passes=1, **op_kwargs):
+    """Run scalar and batch twins over identical hosts; return results."""
+    out = []
+    for batch in (False, True):
+        host = Host(topic_readings)
+        cfg = OperatorConfig(batch=batch, **cfg_kwargs)
+        op = bound(op_cls, cfg, host, **op_kwargs)
+        op.set_units(units)
+        op.start()
+        results = None
+        for i in range(passes):
+            results = op.compute(NOW + i * NS_PER_SEC)
+        out.append((op, host, results))
+    (op_s, host_s, res_s), (op_b, host_b, res_b) = out
+    assert op_s.batch_enabled() is False
+    assert op_b.batch_enabled() is True
+    assert_same_results(res_s, res_b)
+    assert len(host_s.stored) == len(host_b.stored)
+    for (topic_s, ts_s, val_s), (topic_b, ts_b, val_b) in zip(
+        host_s.stored, host_b.stored
+    ):
+        assert (topic_s, ts_s) == (topic_b, ts_b)
+        assert val_s == val_b or (math.isnan(val_s) and math.isnan(val_b))
+    assert op_s.error_count == op_b.error_count
+    return res_s, res_b
+
+
+# ----------------------------------------------------------------------
+# Engine-level batch queries
+# ----------------------------------------------------------------------
+
+
+class TestQueryRelativeBatch:
+    def test_rows_match_scalar_queries(self):
+        host = Host({
+            "/n0/power": series(10),
+            "/n1/power": series(3, scale=2.0),
+        })
+        engine = QueryEngine(host)
+        win = engine.query_relative_batch(
+            ["/n0/power", "/n1/power", "/n2/missing"], WINDOW
+        )
+        assert win.width == 6  # 5 s window at 1 s sampling -> 6 readings
+        v0 = engine.query_relative("/n0/power", WINDOW)
+        assert np.array_equal(win.row_values(0), v0.values())
+        assert np.array_equal(win.row_timestamps(0), v0.timestamps())
+        v1 = engine.query_relative("/n1/power", WINDOW)
+        assert int(win.counts[1]) == 3  # short window: right-aligned
+        assert np.array_equal(win.row_values(1), v1.values())
+        assert int(win.counts[2]) == 0  # scalar path would raise
+
+    def test_mask_and_padding(self):
+        host = Host({"/a/x": series(2), "/a/y": series(6)})
+        engine = QueryEngine(host)
+        win = engine.query_relative_batch(["/a/x", "/a/y"], WINDOW)
+        mask = win.mask
+        assert mask.shape == (2, 6)
+        assert mask[0].tolist() == [False] * 4 + [True] * 2
+        assert mask[1].all()
+        assert np.isnan(win.values[0, :4]).all()
+        assert (win.timestamps[0, :4] == 0).all()
+
+    def test_window_zero_returns_latest(self):
+        host = Host({"/a/x": series(5)})
+        engine = QueryEngine(host)
+        win = engine.query_relative_batch(["/a/x"], 0)
+        assert win.width == 1
+        latest = engine.latest("/a/x")
+        assert win.last_values()[0] == latest.values()[-1]
+        assert win.newest_timestamps()[0] == latest.timestamps()[-1]
+
+    def test_ring_wraparound_rows(self):
+        cache = SensorCache(8, interval_ns=NS_PER_SEC)
+        host = Host({})
+        host.caches["/a/x"] = cache
+        for ts, v in series(20):  # wraps the 8-slot ring twice
+            cache.store(ts, v)
+        engine = QueryEngine(host)
+        win = engine.query_relative_batch(["/a/x"], WINDOW)
+        view = engine.query_relative("/a/x", WINDOW)
+        assert np.array_equal(win.row_values(0), view.values())
+        assert np.array_equal(win.row_timestamps(0), view.timestamps())
+
+
+class TestQueryPlans:
+    def test_plan_cached_and_hit_counted(self):
+        host = Host({"/a/x": series(10)})
+        engine = QueryEngine(host)
+        engine.query_relative_batch(["/a/x"], WINDOW, key="op")
+        engine.query_relative_batch(["/a/x"], WINDOW, key="op")
+        engine.query_relative_batch(["/a/x"], WINDOW, key="op")
+        reg = engine.telemetry
+        assert reg.counter("qe_plan_compiles_total").value == 1
+        assert reg.counter("qe_plan_hits_total").value == 2
+        assert reg.counter("qe_plan_invalidations_total").value == 0
+
+    def test_hot_plugged_topic_invalidates_plan(self):
+        """Regression: a topic appearing after compile time must be
+        picked up once the sensor space is refreshed.  Fails without the
+        navigator/tree generation counter (the stale plan would keep
+        returning the empty miss row forever)."""
+        host = Host({"/a/x": series(10)})
+        engine = QueryEngine(host)
+        win = engine.query_relative_batch(["/a/x", "/a/new"], WINDOW, key="op")
+        assert int(win.counts[1]) == 0
+        # Hot-plug the sensor on the host, then refresh the sensor space.
+        cache = SensorCache(64, interval_ns=NS_PER_SEC)
+        for ts, v in series(10):
+            cache.store(ts, v)
+        host.caches["/a/new"] = cache
+        engine.refresh_navigator()
+        win = engine.query_relative_batch(["/a/x", "/a/new"], WINDOW, key="op")
+        assert int(win.counts[1]) == 6
+        assert np.array_equal(
+            win.row_values(1), engine.query_relative("/a/new", WINDOW).values()
+        )
+        assert engine.telemetry.counter("qe_plan_invalidations_total").value == 1
+        assert engine.telemetry.counter("qe_plan_compiles_total").value == 2
+
+    def test_in_place_tree_mutation_invalidates_plan(self):
+        host = Host({"/a/x": series(10)})
+        engine = QueryEngine(host)
+        engine.query_relative_batch(["/a/x"], WINDOW, key="op")
+        gen_before = engine.navigator.generation
+        engine.navigator.tree.add_sensor("/a/hotplug")
+        assert engine.navigator.generation != gen_before
+        engine.query_relative_batch(["/a/x"], WINDOW, key="op")
+        assert engine.telemetry.counter("qe_plan_invalidations_total").value == 1
+
+    def test_changed_topics_or_window_recompile(self):
+        host = Host({"/a/x": series(10), "/a/y": series(10)})
+        engine = QueryEngine(host)
+        engine.query_relative_batch(["/a/x"], WINDOW, key="op")
+        engine.query_relative_batch(["/a/y"], WINDOW, key="op")
+        engine.query_relative_batch(["/a/y"], 2 * WINDOW, key="op")
+        assert engine.telemetry.counter("qe_plan_compiles_total").value == 3
+        assert engine.telemetry.counter("qe_plan_invalidations_total").value == 2
+
+    def test_sanitizer_active_uses_scalar_path(self, monkeypatch):
+        host = Host({"/a/x": series(10)})
+        engine = QueryEngine(host)
+
+        class _San:
+            views = 0
+
+            def on_query_view(self, topic, view):
+                _San.views += 1
+
+        monkeypatch.setattr(hooks, "CURRENT", _San())
+        win = engine.query_relative_batch(["/a/x"], WINDOW)
+        assert int(win.counts[0]) == 6
+        assert _San.views == 1  # per-view invariant hook still fired
+        assert engine.telemetry.counter("qe_plan_compiles_total").value == 0
+
+
+# ----------------------------------------------------------------------
+# Batch/scalar parity per plugin
+# ----------------------------------------------------------------------
+
+
+AGG_OPS = {
+    "out_mean": "mean", "out_std": "std", "out_min": "min", "out_max": "max",
+    "out_sum": "sum", "out_median": "median", "out_count": "count",
+    "out_last": "last", "out_q90": "q90", "out_delta": "delta",
+    "out_rate": "rate",
+}
+
+
+class TestAggregatorParity:
+    def unit_for(self, name, inputs):
+        return make_unit(name, inputs, list(AGG_OPS))
+
+    def test_uniform_single_input(self):
+        topics = {f"/n{i}/power": series(10, scale=1.0 + i) for i in range(4)}
+        units = [self.unit_for(f"/n{i}", [f"/n{i}/power"]) for i in range(4)]
+        run_both(
+            AggregatorOperator,
+            dict(name="agg", window_ns=WINDOW, params={"ops": AGG_OPS}),
+            units, topics,
+        )
+
+    def test_multi_input_pooled(self):
+        topics = {f"/n0/c{i}/load": series(10, scale=0.5 * i) for i in range(3)}
+        units = [self.unit_for("/n0", sorted(topics))]
+        run_both(
+            AggregatorOperator,
+            dict(name="agg", window_ns=WINDOW, params={"ops": AGG_OPS}),
+            units, topics,
+        )
+
+    def test_short_and_ragged_windows(self):
+        topics = {
+            "/n0/power": series(10),
+            "/n1/power": series(2),   # shorter than the window
+            "/n2/power": series(1),   # single reading: delta/rate are NaN
+        }
+        units = [
+            self.unit_for(f"/n{i}", [f"/n{i}/power"]) for i in range(3)
+        ]
+        run_both(
+            AggregatorOperator,
+            dict(name="agg", window_ns=WINDOW, params={"ops": AGG_OPS}),
+            units, topics,
+        )
+
+    def test_all_missing_unit_errors_match(self):
+        topics = {"/n0/power": series(10)}
+        units = [
+            self.unit_for("/n0", ["/n0/power"]),
+            self.unit_for("/gone", ["/gone/power"]),
+        ]
+        res_s, res_b = run_both(
+            AggregatorOperator,
+            dict(name="agg", window_ns=WINDOW, params={"ops": AGG_OPS}),
+            units, topics,
+        )
+        assert [r.unit.name for r in res_b] == ["/n0"]
+
+    def test_window_zero_latest_only(self):
+        topics = {f"/n{i}/power": series(10) for i in range(2)}
+        units = [self.unit_for(f"/n{i}", [f"/n{i}/power"]) for i in range(2)]
+        run_both(
+            AggregatorOperator,
+            dict(name="agg", window_ns=0, params={"ops": AGG_OPS}),
+            units, topics,
+        )
+
+
+class TestSmootherParity:
+    @pytest.mark.parametrize("alpha", [None, 0.3])
+    def test_uniform(self, alpha):
+        topics = {f"/n{i}/temp": series(10, scale=3.0) for i in range(4)}
+        units = [
+            make_unit(f"/n{i}", [f"/n{i}/temp"], ["smooth"]) for i in range(4)
+        ]
+        params = {} if alpha is None else {"alpha": alpha}
+        run_both(
+            SmootherOperator,
+            dict(name="sm", window_ns=WINDOW, params=params),
+            units, topics,
+        )
+
+    @pytest.mark.parametrize("alpha", [None, 0.5])
+    def test_ragged_missing_and_inputless(self, alpha):
+        topics = {"/n0/temp": series(10), "/n1/temp": series(3)}
+        units = [
+            make_unit("/n0", ["/n0/temp"], ["smooth"]),
+            make_unit("/n1", ["/n1/temp"], ["smooth"]),
+            make_unit("/gone", ["/gone/temp"], ["smooth"]),
+            make_unit("/empty", [], ["smooth"]),
+        ]
+        params = {} if alpha is None else {"alpha": alpha}
+        run_both(
+            SmootherOperator,
+            dict(name="sm", window_ns=WINDOW, params=params),
+            units, topics,
+        )
+
+
+class TestPerSystParity:
+    def test_decile_reduction(self):
+        topics = {
+            f"/n{i}/cpu{c}/cpi": series(10, scale=0.1 + 0.2 * c)
+            for i in range(2) for c in range(8)
+        }
+        out_names = PerSystOperator(
+            OperatorConfig(name="tmp", params={"statistics": ["mean", "std"]})
+        ).job_output_names()
+        units = [
+            make_unit(
+                f"/job{i}",
+                sorted(t for t in topics if t.startswith(f"/n{i}/")),
+                out_names,
+            )
+            for i in range(2)
+        ]
+        run_both(
+            PerSystOperator,
+            dict(
+                name="ps", window_ns=WINDOW,
+                params={"statistics": ["mean", "std"]},
+            ),
+            units, topics,
+        )
+
+    def test_partially_missing_cores_skipped(self):
+        topics = {"/n0/cpu0/cpi": series(10), "/n0/cpu1/cpi": series(4)}
+        out_names = PerSystOperator(OperatorConfig(name="t")).job_output_names()
+        units = [
+            make_unit(
+                "/job0",
+                ["/n0/cpu0/cpi", "/n0/cpu1/cpi", "/n0/cpu2/cpi"],
+                out_names,
+            ),
+            make_unit("/job1", ["/gone/cpu0/cpi"], out_names),
+        ]
+        res_s, res_b = run_both(
+            PerSystOperator,
+            dict(name="ps", window_ns=WINDOW),
+            units, topics,
+        )
+        # job1 has no data at all: silently skipped, not an error.
+        assert [r.unit.name for r in res_b] == ["/job0"]
+
+
+class TestHealthParity:
+    CFG = dict(
+        name="hp", window_ns=WINDOW,
+        params={"bounds": {"temp": [-1.0, 1.0]}, "trip_count": 2},
+    )
+
+    def test_hysteresis_over_passes(self):
+        topics = {
+            "/n0/temp": series(10, scale=0.5),   # in bounds
+            "/n1/temp": series(10, scale=50.0),  # violates repeatedly
+            "/n0/other": series(10),             # unbounded: never queried
+        }
+        units = [
+            make_unit("/n0", ["/n0/temp", "/n0/other"], ["healthy"]),
+            make_unit("/n1", ["/n1/temp"], ["healthy"]),
+        ]
+        res_s, res_b = run_both(
+            HealthOperator, self.CFG, units, topics, passes=3
+        )
+        by_name = {r.unit.name: r.values for r in res_b}
+        assert by_name["/n0"]["healthy"] == 1.0
+        assert by_name["/n1"]["healthy"] == 0.0  # tripped after 2 passes
+
+    def test_missing_bounded_topic_errors_both_paths(self):
+        topics = {"/n0/temp": series(10, scale=0.5)}
+        units = [
+            make_unit("/n0", ["/n0/temp"], ["healthy"]),
+            make_unit("/n1", ["/n1/temp"], ["healthy"]),
+        ]
+        res_s, res_b = run_both(HealthOperator, self.CFG, units, topics)
+        assert [r.unit.name for r in res_b] == ["/n0"]
+
+    def test_ragged_windows(self):
+        topics = {"/n0/temp": series(10, scale=0.5), "/n1/temp": series(2, scale=0.5)}
+        units = [
+            make_unit("/n0", ["/n0/temp"], ["healthy"]),
+            make_unit("/n1", ["/n1/temp"], ["healthy"]),
+        ]
+        run_both(HealthOperator, self.CFG, units, topics)
+
+
+# ----------------------------------------------------------------------
+# Operator-level batch plumbing
+# ----------------------------------------------------------------------
+
+
+class TestBatchKnob:
+    def test_bad_value_rejected(self):
+        with pytest.raises(ConfigError):
+            OperatorConfig(name="x", batch="sometimes")
+
+    def test_default_fallback_used_without_override(self):
+        """batch=true on a plugin without a kernel still produces the
+        scalar results through the default compute_batch."""
+
+        class Doubler(OperatorBase):
+            def compute_unit(self, unit, ts):
+                view = self.engine.latest(unit.inputs[0])
+                return {s.name: 2.0 * view.values()[-1] for s in unit.outputs}
+
+        host = Host({"/n0/x": series(10)})
+        op = bound(Doubler, OperatorConfig(name="d", batch=True), host)
+        op.set_units([make_unit("/n0", ["/n0/x"], ["twice"])])
+        op.start()
+        assert op.batch_enabled()
+        results = op.compute(NOW)
+        assert len(results) == 1
+        view = op.engine.latest("/n0/x")
+        assert results[0].values == {"twice": 2.0 * view.values()[-1]}
+
+    def test_auto_requires_supports_batch(self):
+        host = Host({"/a/x": series(5)})
+        agg = bound(
+            AggregatorOperator,
+            OperatorConfig(name="a", params={"ops": {"*": "mean"}}),
+            host,
+        )
+        assert agg.supports_batch and agg.batch_enabled()
+        assert not bound(
+            AggregatorOperator,
+            OperatorConfig(name="b", batch=False, params={"ops": {"*": "mean"}}),
+            host,
+        ).batch_enabled()
+
+    def test_sanitizer_vetoes_batch(self, monkeypatch):
+        host = Host({"/a/x": series(5)})
+        agg = bound(
+            AggregatorOperator,
+            OperatorConfig(name="a", batch=True, params={"ops": {"*": "mean"}}),
+            host,
+        )
+        monkeypatch.setattr(hooks, "CURRENT", object())
+        assert not agg.batch_enabled()
+
+
+class TestPersistentPool:
+    def make_op(self):
+        class Noop(OperatorBase):
+            def compute_unit(self, unit, ts):
+                return {s.name: 1.0 for s in unit.outputs}
+
+        host = Host({"/n0/x": series(5), "/n1/x": series(5)})
+        op = bound(
+            Noop,
+            OperatorConfig(name="p", unit_mode="parallel", max_workers=2),
+            host,
+        )
+        op.set_units([
+            make_unit("/n0", ["/n0/x"], ["o"]),
+            make_unit("/n1", ["/n1/x"], ["o"]),
+        ])
+        return op
+
+    def test_pool_persists_across_passes(self):
+        op = self.make_op()
+        op.start()
+        pool = op._pool
+        assert pool is not None
+        op.compute(NOW)
+        op.compute(NOW + NS_PER_SEC)
+        assert op._pool is pool  # not rebuilt per pass
+        op.stop()
+        assert op._pool is None
+
+    def test_chunked_results_preserve_unit_order(self):
+        op = self.make_op()
+        op.start()
+        results = op.compute(NOW)
+        assert [r.unit.name for r in results] == ["/n0", "/n1"]
+        op.stop()
+
+    def test_sequential_operator_never_builds_pool(self):
+        class Noop(OperatorBase):
+            def compute_unit(self, unit, ts):
+                return {}
+
+        host = Host({})
+        op = bound(Noop, OperatorConfig(name="s"), host)
+        op.start()
+        assert op._pool is None
+        op.stop()
+
+
+class TestBatchedSinks:
+    def test_broker_publish_batch_matches_sequential(self):
+        seen = []
+        broker = Broker()
+        broker.subscribe("/a/#", lambda t, v, ts: seen.append((t, v, ts)))
+        n = broker.publish_batch([
+            Message("/a/x", 1.0, 10),
+            Message("/a/y", 2.0, 10),
+            Message("/b/z", 3.0, 10),  # no subscriber
+        ])
+        assert n == 2
+        assert seen == [("/a/x", 1.0, 10), ("/a/y", 2.0, 10)]
+        assert broker.published_count == 3
+        assert broker.delivered_count == 2
+
+    def test_publish_batch_rejects_wildcards(self):
+        broker = Broker()
+        with pytest.raises(TopicError):
+            broker.publish_batch([Message("/a/+", 1.0, 0)])
+
+    def test_pusher_store_readings_batch(self):
+        broker = Broker()
+        pusher = Pusher("/n0", broker, TaskScheduler())
+        seen = []
+        broker.subscribe("/#", lambda t, v, ts: seen.append((t, v)))
+        outs = [
+            Sensor("/n0/out_a", is_operator_output=True),
+            Sensor("/n0/out_b", publish=False, is_operator_output=True),
+        ]
+        pusher.store_readings_batch(NOW, [(outs[0], 1.5), (outs[1], 2.5)])
+        # Lazy cache creation + caching match store_reading semantics.
+        assert pusher.cache_for("/n0/out_a").latest().value == 1.5
+        assert pusher.cache_for("/n0/out_b").latest().value == 2.5
+        # Only publishable sensors hit the broker, in order.
+        assert seen == [("/n0/out_a", 1.5)]
+
+    def test_operator_uses_batched_sink(self):
+        calls = []
+
+        class SinkHost(Host):
+            def store_readings_batch(self, ts, readings):
+                calls.append((ts, list(readings)))
+                for sensor, value in readings:
+                    self.stored.append((sensor.topic, ts, value))
+
+        host = SinkHost({"/n0/x": series(10)})
+        op = bound(
+            AggregatorOperator,
+            OperatorConfig(
+                name="a", window_ns=WINDOW, params={"ops": {"*": "mean"}}
+            ),
+            host,
+        )
+        op.set_units([make_unit("/n0", ["/n0/x"], ["m"])])
+        op.start()
+        op.compute(NOW)
+        assert len(calls) == 1 and len(host.stored) == 1
+
+
+class TestCacheViewReadings:
+    def test_readings_fast_path_and_iter(self):
+        cache = SensorCache(8, interval_ns=NS_PER_SEC)
+        for ts, v in series(5):
+            cache.store(ts, v)
+        view = cache.view_relative(WINDOW)
+        readings = view.readings()
+        assert readings == list(view)
+        assert all(
+            isinstance(r.timestamp, int) and isinstance(r.value, float)
+            for r in readings
+        )
+        assert [r.value for r in readings] == view.values().tolist()
