@@ -46,7 +46,7 @@ from repro.core.tree import SensorTree
 DEFAULT_MAX_UNITS = 10_000
 
 _DEPLOYMENT_SECTIONS = frozenset(
-    {"cluster", "monitoring", "jobs", "facility", "analytics"}
+    {"cluster", "monitoring", "jobs", "facility", "analytics", "network"}
 )
 _CLUSTER_KEYS = frozenset(
     {"nodes", "cpus", "seed", "anomalies", "racks", "chassis_per_rack",
@@ -57,6 +57,16 @@ _MONITORING_KEYS = frozenset(
      "tester_sensors"}
 )
 _FACILITY_KEYS = frozenset({"enabled", "setpoint_c", "interval_s"})
+_NETWORK_KEYS = frozenset(
+    {"latency_ms", "jitter_ms", "drop_probability", "seed", "outages",
+     "spill", "ingest"}
+)
+_OUTAGE_KEYS = frozenset({"start_s", "end_s", "destinations"})
+_SPILL_KEYS = frozenset(
+    {"capacity", "policy", "retry_base_ms", "retry_max_ms", "seed"}
+)
+_INGEST_KEYS = frozenset({"queue_capacity", "policy"})
+_QUEUE_POLICIES = ("drop-oldest", "drop-newest")
 _JOB_KEYS = frozenset(
     {"app", "nodes", "node_paths", "start_s", "end_s", "id"}
 )
@@ -536,6 +546,129 @@ def trees_from_deployment(spec: dict) -> Tuple[SensorTree, SensorTree]:
     )
 
 
+def _positive_number(value) -> bool:
+    return (
+        not isinstance(value, bool)
+        and isinstance(value, (int, float))
+        and value > 0
+    )
+
+
+def _analyze_network(network, out: DiagnosticCollector) -> None:
+    """Validate a deployment's ``network`` (resilience) section."""
+    if network is None:
+        return
+    net_out = out.at("network")
+    if not isinstance(network, dict):
+        net_out.error("W005", "'network' must be a mapping")
+        return
+    for key in sorted(set(network) - _NETWORK_KEYS):
+        net_out.at(key).warning("W003", f"unknown network key {key!r}")
+    latency = network.get("latency_ms", 0)
+    jitter = network.get("jitter_ms", 0)
+    for key, value in (("latency_ms", latency), ("jitter_ms", jitter)):
+        if isinstance(value, bool) or not isinstance(value, (int, float)) or value < 0:
+            net_out.at(key).error(
+                "W016", f"network {key} must be a non-negative number"
+            )
+            return
+    if jitter > latency:
+        net_out.at("jitter_ms").error(
+            "W016", "network jitter_ms cannot exceed latency_ms"
+        )
+    drop = network.get("drop_probability", 0.0)
+    if isinstance(drop, bool) or not isinstance(drop, (int, float)) or not (
+        0.0 <= drop < 1.0
+    ):
+        net_out.at("drop_probability").error(
+            "W016", "network drop_probability must be in [0, 1)"
+        )
+    outages = network.get("outages", [])
+    if not isinstance(outages, list):
+        net_out.at("outages").error("W005", "network outages must be a list")
+        outages = []
+    for i, outage in enumerate(outages):
+        o_out = net_out.at("outages", i)
+        if not isinstance(outage, dict):
+            o_out.error("W005", "outage entry must be a mapping")
+            continue
+        for key in sorted(set(outage) - _OUTAGE_KEYS):
+            o_out.at(key).warning("W003", f"unknown outage key {key!r}")
+        start_s, end_s = outage.get("start_s"), outage.get("end_s")
+        if start_s is None or end_s is None:
+            o_out.error("W016", "outage entries need start_s and end_s")
+        elif not isinstance(start_s, (int, float)) or not isinstance(
+            end_s, (int, float)
+        ) or end_s <= start_s:
+            o_out.error("W016", "outage must end after it starts")
+        destinations = outage.get("destinations")
+        if destinations is not None and (
+            not isinstance(destinations, list)
+            or not destinations
+            or not all(isinstance(d, str) for d in destinations)
+        ):
+            o_out.at("destinations").error(
+                "W016",
+                "outage destinations must be a non-empty list of "
+                "topic prefixes",
+            )
+    spill = network.get("spill", {})
+    if not isinstance(spill, dict):
+        net_out.at("spill").error("W005", "network spill must be a mapping")
+        spill = {}
+    for key in sorted(set(spill) - _SPILL_KEYS):
+        net_out.at("spill", key).warning(
+            "W003", f"unknown spill key {key!r}"
+        )
+    capacity = spill.get("capacity")
+    if capacity is not None and (
+        isinstance(capacity, bool)
+        or not isinstance(capacity, int)
+        or capacity < 1
+    ):
+        net_out.at("spill", "capacity").error(
+            "W016", "spill capacity must be an integer >= 1"
+        )
+    if "policy" in spill and spill["policy"] not in _QUEUE_POLICIES:
+        net_out.at("spill", "policy").error(
+            "W016", f"spill policy must be one of {list(_QUEUE_POLICIES)}"
+        )
+    for key in ("retry_base_ms", "retry_max_ms"):
+        if key in spill and not _positive_number(spill[key]):
+            net_out.at("spill", key).error(
+                "W016", f"spill {key} must be a positive number"
+            )
+    if (
+        _positive_number(spill.get("retry_base_ms"))
+        and _positive_number(spill.get("retry_max_ms"))
+        and spill["retry_base_ms"] > spill["retry_max_ms"]
+    ):
+        net_out.at("spill", "retry_base_ms").error(
+            "W016", "spill retry_base_ms cannot exceed retry_max_ms"
+        )
+    ingest = network.get("ingest", {})
+    if not isinstance(ingest, dict):
+        net_out.at("ingest").error("W005", "network ingest must be a mapping")
+        ingest = {}
+    for key in sorted(set(ingest) - _INGEST_KEYS):
+        net_out.at("ingest", key).warning(
+            "W003", f"unknown ingest key {key!r}"
+        )
+    queue_capacity = ingest.get("queue_capacity")
+    if queue_capacity is not None and (
+        isinstance(queue_capacity, bool)
+        or not isinstance(queue_capacity, int)
+        or queue_capacity < 1
+    ):
+        net_out.at("ingest", "queue_capacity").error(
+            "W016", "ingest queue_capacity must be an integer >= 1"
+        )
+    if "policy" in ingest and ingest["policy"] not in _QUEUE_POLICIES:
+        net_out.at("ingest", "policy").error(
+            "W016", f"ingest policy must be one of {list(_QUEUE_POLICIES)}"
+        )
+
+
 def analyze_deployment(
     spec: dict,
     known_plugins: Optional[Sequence[str]] = None,
@@ -624,6 +757,8 @@ def analyze_deployment(
             out.at("facility", key).warning(
                 "W003", f"unknown facility key {key!r}"
             )
+
+    _analyze_network(spec.get("network"), out)
 
     # Synthesized sensor space (skipped when the cluster section is
     # malformed enough that topology construction fails).

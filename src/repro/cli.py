@@ -80,6 +80,16 @@ def cmd_run(args) -> int:
     print(f"readings stored: {storage.total_readings():,}")
     print(f"mqtt messages: {dep.broker.published_count:,} published, "
           f"{dep.broker.delivered_count:,} delivered")
+    if dep.link is not None:
+        state = dep.link.link_state()
+        spilled = sum(p.spill_depth for p in dep.pushers.values())
+        print(
+            f"link: {'up' if state['up'] else 'down'}, "
+            f"{state['delivered']:,} delivered, "
+            f"{state['dropped']:,} dropped, "
+            f"{state['refused']:,} refused, "
+            f"{spilled:,} spilled pending"
+        )
     operators = [
         op for m in list(dep.managers.values()) + [dep.agent_manager]
         for op in m.operators()

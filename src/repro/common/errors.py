@@ -30,6 +30,23 @@ class ConfigError(ReproError):
         self.diagnostics = list(diagnostics or [])
 
 
+class LinkDownError(ReproError):
+    """A publish was refused because the network link is down.
+
+    Raised by :class:`repro.dcdb.network.NetworkConditions` while a
+    scheduled outage or partition covers the destination: the message is
+    *refused* back to the producer (which may buffer and retry), never
+    silently dropped.  ``until_ns`` carries the end of the refusing
+    down-window when known; ``refused`` carries the messages that were
+    not delivered (for ``publish_batch``, the refused subset).
+    """
+
+    def __init__(self, message: str, until_ns=None, refused=None):
+        super().__init__(message)
+        self.until_ns = until_ns
+        self.refused = list(refused or [])
+
+
 class QueryError(ReproError):
     """A Query Engine request that cannot be satisfied.
 

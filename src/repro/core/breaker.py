@@ -1,0 +1,162 @@
+"""Per-unit circuit breakers for operator computation.
+
+An operator whose unit keeps failing re-pays the full failure cost —
+queries, exception handling, error accounting — on every pass, forever.
+Production ODA quarantines such units instead: after N consecutive
+failures the unit's breaker *opens* and the unit is skipped; after a
+cooldown the breaker goes *half-open* and lets one probe computation
+through; a successful probe closes the breaker, a failed one re-opens it
+with a doubled cooldown (bounded by a ceiling).
+
+The breaker counts in *passes*, not wall time: operators already run on
+a fixed interval, so passes are the natural clock and stay meaningful
+under simulated time.  State transitions happen inside
+:class:`~repro.core.operator.OperatorBase`'s breaker lock (a sanitizer
+seam) — parallel unit mode records failures from pool worker threads.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+#: Breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class UnitBreaker:
+    """Circuit breaker guarding one unit of one operator.
+
+    Args:
+        threshold: consecutive failures that trip the breaker.  ``0``
+            disables automatic tripping (the breaker can still be
+            tripped manually via REST).
+        cooldown_passes: passes to wait before the first probe.
+        max_cooldown_passes: ceiling of the probe backoff doubling.
+    """
+
+    __slots__ = (
+        "threshold", "cooldown_passes", "max_cooldown_passes",
+        "state", "failures", "trips", "probes", "recoveries",
+        "_cooldown", "_wait",
+    )
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown_passes: int = 4,
+        max_cooldown_passes: int = 64,
+    ):
+        if threshold < 0:
+            raise ConfigError(f"breaker threshold must be >= 0: {threshold}")
+        if cooldown_passes < 1:
+            raise ConfigError(
+                f"breaker cooldown must be >= 1 pass: {cooldown_passes}"
+            )
+        self.threshold = int(threshold)
+        self.cooldown_passes = int(cooldown_passes)
+        self.max_cooldown_passes = max(
+            int(max_cooldown_passes), self.cooldown_passes
+        )
+        self.state = CLOSED
+        self.failures = 0  # consecutive failures while closed
+        self.trips = 0  # times the breaker entered OPEN
+        self.probes = 0  # half-open probe computations granted
+        self.recoveries = 0  # probe successes that re-closed the breaker
+        self._cooldown = self.cooldown_passes  # current backoff length
+        self._wait = 0  # passes remaining until the next probe
+
+    @property
+    def quarantined(self) -> bool:
+        """Whether the unit is currently being skipped."""
+        return self.state == OPEN
+
+    def allow(self) -> bool:
+        """Whether the unit may compute this pass.
+
+        Called once per pass per unit: open breakers tick their cooldown
+        down here, so skipped passes are what ages a quarantine.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            self._wait -= 1
+            if self._wait > 0:
+                return False
+            self.state = HALF_OPEN
+            self.probes += 1
+        return True  # half-open: the probe computation goes through
+
+    def record_failure(self) -> None:
+        """One failed computation of the unit."""
+        if self.state in (OPEN, HALF_OPEN):
+            # Failed probe: re-open with a doubled cooldown.
+            self._cooldown = min(
+                self._cooldown * 2, self.max_cooldown_passes
+            )
+            self._open()
+            return
+        self.failures += 1
+        if self.threshold and self.failures >= self.threshold:
+            self._open()
+
+    def record_success(self) -> None:
+        """One successful computation; closes the breaker."""
+        if self.state != CLOSED:
+            self.recoveries += 1
+        self._close()
+
+    def trip(self) -> None:
+        """Force the breaker open (REST ``action=trip``)."""
+        self._open()
+
+    def reset(self) -> None:
+        """Force the breaker closed (REST ``action=reset``); does not
+        count as a recovery."""
+        self._close()
+
+    def _open(self) -> None:
+        self.state = OPEN
+        self.trips += 1
+        self._wait = self._cooldown
+
+    def _close(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+        self._cooldown = self.cooldown_passes
+        self._wait = 0
+
+    def snapshot(self) -> dict:
+        """REST/metrics view of the breaker."""
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "threshold": self.threshold,
+            "trips": self.trips,
+            "probes": self.probes,
+            "recoveries": self.recoveries,
+            "cooldown_passes": self._cooldown,
+            "passes_until_probe": max(0, self._wait),
+        }
+
+
+def default_snapshot(threshold: int) -> dict:
+    """The snapshot of a unit that never failed (no breaker allocated)."""
+    return {
+        "state": CLOSED,
+        "failures": 0,
+        "threshold": threshold,
+        "trips": 0,
+        "probes": 0,
+        "recoveries": 0,
+        "cooldown_passes": None,
+        "passes_until_probe": 0,
+    }
+
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "UnitBreaker",
+    "default_snapshot",
+]

@@ -64,6 +64,9 @@ KNOWN_OPERATOR_KEYS = frozenset(
         "batch",
         "relaxed",
         "publish_outputs",
+        "breaker_threshold",
+        "breaker_cooldown",
+        "breaker_max_cooldown",
     }
     | {f"{b}_{s}" for b in _TIME_FIELDS for s, _ in _TIME_SUFFIXES}
 )
@@ -128,12 +131,21 @@ def collect_operator_diagnostics(
             f"unit_mode must be one of {list(UNIT_MODES)}, "
             f"got {block['unit_mode']!r}",
         )
-    for key in ("max_workers", "unit_cadence"):
+    for key in ("max_workers", "unit_cadence", "breaker_cooldown", "breaker_max_cooldown"):
         value = block.get(key)
         if value is not None and (
             isinstance(value, bool) or not isinstance(value, int) or value < 1
         ):
             out.at(key).error("W005", f"{key} must be an integer >= 1")
+    threshold = block.get("breaker_threshold")
+    if threshold is not None and (
+        isinstance(threshold, bool)
+        or not isinstance(threshold, int)
+        or threshold < 0
+    ):
+        out.at("breaker_threshold").error(
+            "W005", "breaker_threshold must be an integer >= 0"
+        )
     for key in _BOOL_FIELDS:
         if key in block and not isinstance(block[key], bool):
             out.at(key).error("W005", f"{key} must be a bool")
@@ -195,7 +207,16 @@ def parse_operator_config(name: str, block: dict) -> OperatorConfig:
         window_ns=_read_time(block, "window", 0),
         delay_ns=_read_time(block, "delay", 0),
     )
-    for key in ("mode", "unit_mode", "max_workers", "unit_cadence", "batch"):
+    for key in (
+        "mode",
+        "unit_mode",
+        "max_workers",
+        "unit_cadence",
+        "batch",
+        "breaker_threshold",
+        "breaker_cooldown",
+        "breaker_max_cooldown",
+    ):
         if key in block:
             kwargs[key] = block[key]
     for key in _BOOL_FIELDS:

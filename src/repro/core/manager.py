@@ -63,6 +63,8 @@ class OperatorManager:
         host.rest.register("GET", "/analytics/operators", self._route_list)
         host.rest.register("PUT", "/analytics/operators", self._route_action)
         host.rest.register("GET", "/analytics/plugins", self._route_plugins)
+        host.rest.register("GET", "/analytics/units", self._route_breaker_get)
+        host.rest.register("PUT", "/analytics/units", self._route_breaker_put)
 
     def _require_host(self) -> None:
         if self.host is None or self.engine is None:
@@ -207,3 +209,53 @@ class OperatorManager:
         except Exception as exc:  # bad unit names, resolution failures
             return RestResponse.error(str(exc), 400)
         return RestResponse.error(f"unknown action {action!r}", 400)
+
+    def _parse_breaker_path(self, request):
+        """``/analytics/units/<operator>/<unit path...>/breaker`` →
+        ``(operator, unit_name)`` or an error response.
+
+        Unit names are tree paths with slashes of their own, so the unit
+        part is everything between the operator segment and the trailing
+        ``breaker`` segment; the leading slash tree units carry is
+        restored when the bare form doesn't name a unit.
+        """
+        parts = request.path.strip("/").split("/")
+        if len(parts) < 5 or parts[:2] != ["analytics", "units"] or parts[-1] != "breaker":
+            return None, RestResponse.error(
+                "expected /analytics/units/<operator>/<unit>/breaker", 400
+            )
+        name, unit = parts[2], "/".join(parts[3:-1])
+        try:
+            op = self.operator(name)
+        except PluginError as exc:
+            return None, RestResponse.error(str(exc), 404)
+        if not any(u.name == unit for u in op.units):
+            slashed = "/" + unit
+            if any(u.name == slashed for u in op.units):
+                unit = slashed
+        return (op, unit), None
+
+    def _route_breaker_get(self, request) -> RestResponse:
+        target, err = self._parse_breaker_path(request)
+        if err is not None:
+            return err
+        op, unit = target
+        try:
+            return RestResponse.json(op.breaker_state(unit))
+        except PluginError as exc:
+            return RestResponse.error(str(exc), 404)
+
+    def _route_breaker_put(self, request) -> RestResponse:
+        target, err = self._parse_breaker_path(request)
+        if err is not None:
+            return err
+        op, unit = target
+        action = request.param("action")
+        if action is None:
+            return RestResponse.error("missing 'action' parameter", 400)
+        try:
+            return RestResponse.json(op.set_breaker(unit, action))
+        except PluginError as exc:
+            return RestResponse.error(str(exc), 404)
+        except ConfigError as exc:
+            return RestResponse.error(str(exc), 400)

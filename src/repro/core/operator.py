@@ -29,6 +29,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 from repro.common.errors import ConfigError, PluginError, QueryError
 from repro.common.timeutil import NS_PER_SEC
 from repro.dcdb.sensor import Sensor
+from repro.core.breaker import CLOSED, OPEN, UnitBreaker, default_snapshot
 from repro.core.queryengine import BatchWindow, QueryEngine
 from repro.core.tree import SensorTree
 from repro.core.units import Unit, UnitResolver
@@ -65,6 +66,13 @@ class OperatorConfig:
             even through the default per-unit fallback; ``False`` pins
             the scalar path.  The runtime sanitizer always computes
             scalar so its per-unit hooks keep firing.
+        breaker_threshold: consecutive failures after which a unit is
+            quarantined (skipped) by its circuit breaker; 0 (default)
+            disables automatic tripping, leaving only manual REST
+            control.
+        breaker_cooldown: passes an open breaker waits before letting a
+            probe computation through.
+        breaker_max_cooldown: ceiling of the probe backoff doubling.
         inputs / outputs: pattern expressions of the operator's units.
         operator_outputs: names of operator-level aggregate outputs.
         params: plugin-specific parameters.
@@ -81,6 +89,9 @@ class OperatorConfig:
     max_workers: int = 1
     unit_cadence: int = 1
     batch: object = "auto"
+    breaker_threshold: int = 0
+    breaker_cooldown: int = 4
+    breaker_max_cooldown: int = 64
     inputs: List[str] = field(default_factory=list)
     outputs: List[str] = field(default_factory=list)
     operator_outputs: List[str] = field(default_factory=list)
@@ -112,6 +123,18 @@ class OperatorConfig:
                 f"operator {self.name}: batch must be true, false or "
                 f"'auto', not {self.batch!r}"
             )
+        if self.breaker_threshold < 0:
+            raise ConfigError(
+                f"operator {self.name}: breaker_threshold must be >= 0"
+            )
+        if self.breaker_cooldown < 1:
+            raise ConfigError(
+                f"operator {self.name}: breaker_cooldown must be >= 1"
+            )
+        # The ceiling can never undercut the base cooldown.
+        self.breaker_max_cooldown = max(
+            self.breaker_max_cooldown, self.breaker_cooldown
+        )
 
 
 class UnitResult(NamedTuple):
@@ -155,6 +178,11 @@ class OperatorBase:
         self._operator_output_sensors: List[Sensor] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self.last_errors: List[str] = []
+        # Per-unit circuit breakers, allocated lazily on first failure
+        # (or manual trip).  The lock is a sanitizer seam: parallel unit
+        # mode records failures from pool worker threads.
+        self._breakers: Dict[str, UnitBreaker] = {}
+        self._breaker_lock = hooks.make_lock("OperatorBase.breaker")
         # Unbound operators instrument against a private registry; bind()
         # migrates the accrued values into the host's registry so every
         # operator shows up under the host's GET /metrics.
@@ -171,6 +199,17 @@ class OperatorBase:
         )
         self._m_latency = registry.histogram(
             "operator_compute_latency_ns", **labels
+        )
+        self._m_breaker_trips = registry.counter(
+            "breaker_trips_total", **labels
+        )
+        self._m_breaker_recoveries = registry.counter(
+            "breaker_recoveries_total", **labels
+        )
+        registry.gauge(
+            "operator_quarantined_units",
+            fn=lambda: len(self.quarantined_units()),
+            **labels,
         )
 
     # ------------------------------------------------------------------
@@ -332,6 +371,7 @@ class OperatorBase:
             san.begin_pass(self)
         t0 = time.perf_counter_ns()
         results = self._compute_results(ts)
+        self._record_unit_successes(results)
         self._store_results(ts, results)
         self._store_operator_outputs(ts, results)
         elapsed = time.perf_counter_ns() - t0
@@ -344,12 +384,116 @@ class OperatorBase:
         return results
 
     def _due_units(self) -> List[Unit]:
-        """Units owed a computation this pass (cadence staggering)."""
+        """Units owed a computation this pass (cadence staggering,
+        then circuit-breaker quarantine filtering)."""
         cadence = self.config.unit_cadence
         if cadence > 1:
             phase = self.compute_count % cadence
-            return [u for i, u in enumerate(self.units) if i % cadence == phase]
-        return self.units
+            units = [
+                u for i, u in enumerate(self.units) if i % cadence == phase
+            ]
+        else:
+            units = self.units
+        return self._breaker_filter(units)
+
+    # ------------------------------------------------------------------
+    # Circuit breaker
+    # ------------------------------------------------------------------
+
+    def breaker_enabled(self) -> bool:
+        """Whether failures trip unit breakers automatically."""
+        return self.config.breaker_threshold > 0
+
+    def _breaker_for(self, unit_name: str) -> UnitBreaker:
+        """Get-or-create a unit's breaker (callers hold _breaker_lock)."""
+        breaker = self._breakers.get(unit_name)
+        if breaker is None:
+            breaker = self._breakers[unit_name] = UnitBreaker(
+                self.config.breaker_threshold,
+                self.config.breaker_cooldown,
+                self.config.breaker_max_cooldown,
+            )
+        return breaker
+
+    def _breaker_filter(self, units: List[Unit]) -> List[Unit]:
+        """Drop quarantined units from a pass.
+
+        Open breakers age toward their next probe here (skipped passes
+        are the quarantine clock).  With no breakers allocated and
+        automatic tripping disabled this is a no-op returning ``units``
+        unchanged.
+        """
+        if not self._breakers:
+            return units
+        allowed = []
+        with self._breaker_lock:
+            for unit in units:
+                breaker = self._breakers.get(unit.name)
+                if breaker is None or breaker.allow():
+                    allowed.append(unit)
+        return allowed
+
+    def _record_unit_successes(self, results: List[UnitResult]) -> None:
+        """Close/clear breakers of units that produced results."""
+        if not self._breakers:
+            return
+        with self._breaker_lock:
+            for unit, _values in results:
+                breaker = self._breakers.get(unit.name)
+                if breaker is None:
+                    continue
+                recovered = breaker.state != CLOSED
+                breaker.record_success()
+                if recovered:
+                    self._m_breaker_recoveries.inc()
+
+    def quarantined_units(self) -> List[str]:
+        """Names of units currently skipped by an open breaker."""
+        with self._breaker_lock:
+            return sorted(
+                name
+                for name, b in self._breakers.items()
+                if b.state == OPEN
+            )
+
+    def breaker_state(self, unit_name: str) -> dict:
+        """REST view of one unit's breaker."""
+        self._require_unit(unit_name)
+        with self._breaker_lock:
+            breaker = self._breakers.get(unit_name)
+            snap = (
+                breaker.snapshot()
+                if breaker is not None
+                else default_snapshot(self.config.breaker_threshold)
+            )
+        return {"operator": self.name, "unit": unit_name, **snap}
+
+    def set_breaker(self, unit_name: str, action: str) -> dict:
+        """Manual breaker control (REST ``PUT ...?action=trip|reset``)."""
+        self._require_unit(unit_name)
+        if action not in ("trip", "reset"):
+            raise ConfigError(
+                f"breaker action must be 'trip' or 'reset', got {action!r}"
+            )
+        with self._breaker_lock:
+            breaker = self._breaker_for(unit_name)
+            if action == "trip":
+                if breaker.state != OPEN:
+                    breaker.trip()
+                    self._m_breaker_trips.inc()
+            else:
+                breaker.reset()
+            snap = breaker.snapshot()
+        return {"operator": self.name, "unit": unit_name, **snap}
+
+    def _require_unit(self, unit_name: str) -> None:
+        if any(u.name == unit_name for u in self.units):
+            return
+        if unit_name in self._breakers:
+            return  # job units may have rotated out; state still readable
+        raise PluginError(
+            f"operator {self.name!r} has no unit {unit_name!r}"
+        )
 
     def batch_enabled(self) -> bool:
         """Whether this pass runs through :meth:`compute_batch`.
@@ -501,6 +645,13 @@ class OperatorBase:
         """
         self._m_errors.inc()
         self.last_errors = (self.last_errors + [f"{unit.name}: {exc}"])[-16:]
+        if self.breaker_enabled() or self._breakers:
+            with self._breaker_lock:
+                breaker = self._breaker_for(unit.name)
+                trips_before = breaker.trips
+                breaker.record_failure()
+                if breaker.trips != trips_before:
+                    self._m_breaker_trips.inc()
 
     def _store_results(self, ts: int, results: List[UnitResult]) -> None:
         if self.host is None:
@@ -587,6 +738,7 @@ class OperatorBase:
             "errors": self.error_count,
             "busy_ns": self.busy_ns,
             "unit_results": self.unit_results_count,
+            "quarantined": len(self.quarantined_units()),
             "mean_compute_ns": (
                 self._m_latency.mean if self._m_latency.count else 0.0
             ),

@@ -254,6 +254,30 @@ class SensorCache:
         self._head = 0
         self._size = 0
 
+    def resize(self, capacity: int) -> None:
+        """Re-allocate the ring at a new capacity, preserving contents.
+
+        The newest readings survive (all of them when growing, the
+        newest ``capacity`` when shrinking).  Hosts use this to grow
+        ingest caches once a remote sensor's real cadence is observed —
+        the window is a retention contract, not a reading count.
+        """
+        capacity = int(capacity)
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive: {capacity}")
+        if capacity == self._cap:
+            return
+        keep = min(self._size, capacity)
+        kept = self._tail_view(keep)  # snapshot: private contiguous copy
+        self._cap = capacity
+        self._ts = np.zeros(capacity, dtype=np.int64)
+        self._val = np.zeros(capacity, dtype=np.float64)
+        self._head = keep % capacity
+        self._size = keep
+        if keep:
+            self._ts[:keep] = kept.timestamps()
+            self._val[:keep] = kept.values()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

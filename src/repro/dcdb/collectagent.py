@@ -42,6 +42,12 @@ class CollectAgent:
             (Section IV-a) — and with a catch-all subscription a
             republish would loop straight back into the agent's own
             ingest queue, duplicating every stored reading.
+        ingest_queue_capacity: bound of the MQTT ingest queue (``None``
+            keeps it unbounded).  A bounded queue applies backpressure
+            instead of growing without limit under bursty ingest.
+        ingest_policy: what a full ingest queue does with an arrival —
+            ``drop-oldest`` (default) or ``drop-newest``; either way the
+            loss is exported as ``ingest_dropped_total``.
     """
 
     def __init__(
@@ -54,6 +60,8 @@ class CollectAgent:
         drain_interval_ns: int = NS_PER_SEC,
         subscribe_pattern: str = "/#",
         republish_outputs: bool = False,
+        ingest_queue_capacity: Optional[int] = None,
+        ingest_policy: str = "drop-oldest",
     ) -> None:
         self.republish_outputs = republish_outputs
         self.name = name
@@ -63,13 +71,20 @@ class CollectAgent:
         self.cache_window_ns = int(cache_window_ns)
         self.caches: Dict[str, SensorCache] = {}
         self.sensors: Dict[str, Sensor] = {}
+        #: Smallest observed inter-arrival gap per remote topic; drives
+        #: ingest cache sizing (see :meth:`_observe_arrival`).
+        self._gap_ns: Dict[str, int] = {}
         self.rest = RestApi()
         self.telemetry = MetricRegistry()
         self._m_forwarded = self.telemetry.counter("forwarded_readings_total")
         self._m_drain_latency = self.telemetry.histogram("drain_latency_ns")
+        self._m_ingest_dropped = self.telemetry.counter("ingest_dropped_total")
+        self._dropped_synced = 0
         self._register_gauges()
         self.analytics: Optional[object] = None
-        self._queue = QueuedSubscriber()
+        self._queue = QueuedSubscriber(
+            maxlen=ingest_queue_capacity, policy=ingest_policy
+        )
         self._queue.attach(broker, subscribe_pattern)
         self._drain_task = scheduler.add_callback(
             f"{name}:drain", self._drain, int(drain_interval_ns)
@@ -117,30 +132,87 @@ class CollectAgent:
         """Readings drained from MQTT into caches + storage."""
         return self._m_forwarded.value
 
+    @property
+    def ingest_dropped(self) -> int:
+        """Messages lost to ingest-queue backpressure (telemetry view)."""
+        # Sync pending queue-side drops so callers between drains see
+        # the live number, not the last drain's snapshot.
+        dropped = self._queue.dropped
+        if dropped != self._dropped_synced:
+            self._m_ingest_dropped.inc(dropped - self._dropped_synced)
+            self._dropped_synced = dropped
+        return self._m_ingest_dropped.value
+
     # ------------------------------------------------------------------
     # Ingest path
     # ------------------------------------------------------------------
 
-    def _cache_for_ingest(self, topic: str) -> SensorCache:
+    #: Sizing slack mirroring ``SensorCache.for_duration`` (20%).
+    _SIZING_SLACK_NUM, _SIZING_SLACK_DEN = 12, 10
+    #: Per-topic growth ceiling: two adjacent timestamps 1 ns apart must
+    #: not balloon one cache to the whole window divided by a nanosecond.
+    _MAX_INGEST_CAPACITY = 1_000_000
+
+    def _cache_for_ingest(
+        self, topic: str, ts: Optional[int] = None
+    ) -> SensorCache:
         cache = self.caches.get(topic)
         if cache is None:
             # Interval is unknown for remote sensors; a count-sized cache
             # with binary-search relative fallback keeps semantics right.
+            # Start with the 1 Hz guess and grow from the observed
+            # inter-arrival gap — a 10 Hz sensor must still retain its
+            # whole window, not a tenth of it.
             cache = self.caches[topic] = SensorCache(
                 capacity=max(2, self.cache_window_ns // NS_PER_SEC + 1)
             )
+        if ts is not None:
+            self._observe_arrival(topic, cache, ts)
         return cache
+
+    def _observe_arrival(
+        self, topic: str, cache: SensorCache, ts: int
+    ) -> None:
+        """Track a topic's cadence and grow its cache to the window.
+
+        The retention window is a time contract; the ring is sized in
+        readings.  Whenever a smaller positive inter-arrival gap is
+        observed, the implied reading count for ``cache_window_ns`` is
+        recomputed (with the same 20% slack ``for_duration`` applies)
+        and the cache grown in place, preserving its contents.
+        """
+        prev = cache.latest()
+        if prev is None:
+            return
+        gap = ts - prev.timestamp
+        if gap <= 0:
+            return  # duplicate or stale arrival; no cadence information
+        known = self._gap_ns.get(topic)
+        if known is not None and gap >= known:
+            return
+        self._gap_ns[topic] = gap
+        needed = (
+            self.cache_window_ns * self._SIZING_SLACK_NUM
+        ) // (gap * self._SIZING_SLACK_DEN) + 2
+        needed = min(max(2, needed), self._MAX_INGEST_CAPACITY)
+        if needed > cache.capacity:
+            cache.resize(needed)
 
     def _drain(self, ts: int) -> None:
         """Flush queued MQTT messages into caches and storage."""
         t0 = time.perf_counter_ns()
         n = 0
         for msg in self._queue.drain():
-            self._cache_for_ingest(msg.topic).store(msg.timestamp, msg.value)
+            cache = self._cache_for_ingest(msg.topic, msg.timestamp)
+            cache.store(msg.timestamp, msg.value)
             self._storage.insert(msg.topic, msg.timestamp, msg.value)
             n += 1
         if n:
             self._m_forwarded.inc(n)
+        dropped = self._queue.dropped
+        if dropped != self._dropped_synced:
+            self._m_ingest_dropped.inc(dropped - self._dropped_synced)
+            self._dropped_synced = dropped
         self._m_drain_latency.observe(time.perf_counter_ns() - t0)
 
     def flush(self, ts: Optional[int] = None) -> None:
@@ -158,7 +230,7 @@ class CollectAgent:
         Storage Backend (Section IV-a).
         """
         self.sensors[sensor.topic] = sensor
-        self._cache_for_ingest(sensor.topic).store(ts, value)
+        self._cache_for_ingest(sensor.topic, ts).store(ts, value)
         self._storage.insert(sensor.topic, ts, value)
         if sensor.publish and self.republish_outputs:
             self.broker.publish(sensor.topic, value, ts)
@@ -174,7 +246,7 @@ class CollectAgent:
         to_publish = []
         for sensor, value in readings:
             self.sensors[sensor.topic] = sensor
-            self._cache_for_ingest(sensor.topic).store(ts, value)
+            self._cache_for_ingest(sensor.topic, ts).store(ts, value)
             self._storage.insert(sensor.topic, ts, value)
             if sensor.publish and self.republish_outputs:
                 to_publish.append(Message(sensor.topic, value, ts))
@@ -218,6 +290,7 @@ class CollectAgent:
             {
                 "forwarded": self.forwarded_count,
                 "queued": len(self._queue),
+                "ingest_dropped": self.ingest_dropped,
                 "stored_readings": self._storage.total_readings(),
             }
         )

@@ -21,7 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.common.errors import TopicError
+from repro.common.errors import ConfigError, TopicError
 from repro.common.topics import split_topic
 from repro.sanitizer import hooks
 
@@ -239,27 +239,55 @@ class Broker:
         return count
 
 
+#: Backpressure policies a bounded :class:`QueuedSubscriber` accepts.
+QUEUE_POLICIES = ("drop-oldest", "drop-newest")
+
+
 class QueuedSubscriber:
     """A subscriber that buffers messages for deferred draining.
 
     Collect Agents use this to decouple broker delivery from storage
     writes: ``attach`` registers the queue on a broker, and ``drain``
     hands the accumulated batch to a consumer.
+
+    With ``maxlen`` the queue is bounded: at capacity, ``drop-oldest``
+    evicts the head to admit the new message (monitoring's newest-data
+    bias, the default) while ``drop-newest`` refuses the arrival.
+    Either way the loss lands in ``dropped``, which the owning host
+    exports as ``ingest_dropped_total``.  All queue state is guarded by
+    a ``hooks.make_lock`` lock — under a WallClockDriver, ``handler``
+    runs on publisher threads concurrently with the drain task.
     """
 
-    def __init__(self, maxlen: Optional[int] = None) -> None:
-        self._queue: Deque[Message] = deque(maxlen=maxlen)
+    def __init__(
+        self, maxlen: Optional[int] = None, policy: str = "drop-oldest"
+    ) -> None:
+        if policy not in QUEUE_POLICIES:
+            raise ConfigError(
+                f"unknown queue policy {policy!r} "
+                f"(expected one of {list(QUEUE_POLICIES)})"
+            )
+        if maxlen is not None and maxlen < 1:
+            raise ConfigError(f"queue maxlen must be positive: {maxlen}")
+        self._queue: Deque[Message] = deque()
         self.dropped = 0
         self._maxlen = maxlen
+        self.policy = policy
+        self._lock = hooks.make_lock("QueuedSubscriber")
 
     def __len__(self) -> int:
-        return len(self._queue)
+        with self._lock:
+            return len(self._queue)
 
     def handler(self, topic: str, value: float, timestamp: int) -> None:
         """Broker-facing callback: enqueue the message."""
-        if self._maxlen is not None and len(self._queue) == self._maxlen:
-            self.dropped += 1
-        self._queue.append(Message(topic, value, timestamp))
+        with self._lock:
+            if self._maxlen is not None and len(self._queue) >= self._maxlen:
+                self.dropped += 1
+                if self.policy == "drop-newest":
+                    return
+                self._queue.popleft()
+            self._queue.append(Message(topic, value, timestamp))
 
     def attach(self, broker: Broker, pattern: str) -> int:
         """Subscribe this queue to ``pattern`` on ``broker``."""
@@ -267,5 +295,10 @@ class QueuedSubscriber:
 
     def drain(self, limit: Optional[int] = None) -> List[Message]:
         """Remove and return up to ``limit`` queued messages (all if None)."""
-        n = len(self._queue) if limit is None else min(limit, len(self._queue))
-        return [self._queue.popleft() for _ in range(n)]
+        with self._lock:
+            n = (
+                len(self._queue)
+                if limit is None
+                else min(limit, len(self._queue))
+            )
+            return [self._queue.popleft() for _ in range(n)]

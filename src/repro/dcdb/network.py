@@ -16,13 +16,43 @@ Section IV-a describes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.common.errors import ConfigError
-from repro.dcdb.mqtt import Broker
+from repro.common.errors import ConfigError, LinkDownError
+from repro.dcdb.mqtt import Broker, Message
 from repro.sanitizer import hooks
 from repro.simulator.clock import TaskScheduler
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One scheduled down-window of a link.
+
+    ``prefixes`` restricts the outage to destinations (topic prefixes):
+    a per-destination partition.  ``None`` means the whole link is down.
+    """
+
+    start_ns: int
+    end_ns: int
+    prefixes: Optional[Tuple[str, ...]] = None
+
+    def covers(self, at_ns: int, topic: Optional[str] = None) -> bool:
+        """Whether this outage refuses ``topic`` at time ``at_ns``.
+
+        With ``topic=None`` only whole-link outages match — a partition
+        cannot answer "is the link down" without knowing the
+        destination.
+        """
+        if not (self.start_ns <= at_ns < self.end_ns):
+            return False
+        if self.prefixes is None:
+            return True
+        if topic is None:
+            return False
+        return any(topic.startswith(p) for p in self.prefixes)
 
 
 class NetworkConditions:
@@ -76,6 +106,123 @@ class NetworkConditions:
         self.sent = 0
         self.dropped = 0
         self.delivered = 0
+        #: Publishes refused (not silently dropped) by a down-window.
+        self.refused = 0
+        self._outages: List[Outage] = []
+
+    # ------------------------------------------------------------------
+    # Outages and partitions
+    # ------------------------------------------------------------------
+
+    def schedule_outage(
+        self,
+        start_ns: int,
+        end_ns: int,
+        destinations: Optional[Sequence[str]] = None,
+    ) -> Outage:
+        """Declare a down-window of the link.
+
+        Publishes issued inside ``[start_ns, end_ns)`` raise
+        :class:`LinkDownError` — the producer is *told* its message was
+        refused, unlike probabilistic drops which model silent loss.
+        ``destinations`` restricts the outage to topic prefixes (a
+        per-destination partition); ``None`` takes the whole link down.
+        Messages already in flight when the outage starts still arrive:
+        they were on the wire.
+        """
+        if start_ns >= end_ns:
+            raise ConfigError(
+                f"outage must end after it starts: [{start_ns}, {end_ns})"
+            )
+        prefixes = None
+        if destinations is not None:
+            if not destinations:
+                raise ConfigError("outage destinations must be non-empty")
+            prefixes = tuple(str(d) for d in destinations)
+        outage = Outage(int(start_ns), int(end_ns), prefixes)
+        with self._lock:
+            self._outages.append(outage)
+            self._outages.sort(key=lambda o: o.start_ns)
+        return outage
+
+    def schedule_random_outages(
+        self,
+        count: int,
+        horizon_ns: int,
+        mean_duration_ns: int,
+        destinations: Optional[Sequence[str]] = None,
+    ) -> List[Outage]:
+        """Seed ``count`` deterministic down-windows over ``horizon_ns``.
+
+        Start times are uniform over the horizon and durations
+        exponential around the mean, both drawn from the link's seeded
+        RNG — the same seed always produces the same chaos schedule.
+        """
+        if count < 1 or horizon_ns <= 0 or mean_duration_ns <= 0:
+            raise ConfigError(
+                "random outages need count >= 1 and positive horizon/duration"
+            )
+        now = self.scheduler.clock.now
+        with self._lock:
+            starts = np.sort(self._rng.uniform(0, horizon_ns, size=count))
+            durations = self._rng.exponential(mean_duration_ns, size=count)
+        return [
+            self.schedule_outage(
+                now + int(start),
+                now + int(start) + max(1, int(duration)),
+                destinations=destinations,
+            )
+            for start, duration in zip(starts, durations)
+        ]
+
+    def _refusing_outage(
+        self, topic: Optional[str], at_ns: int
+    ) -> Optional[Outage]:
+        """The first outage covering (topic, at_ns); callers hold _lock
+        or accept a racy read (query API)."""
+        for outage in self._outages:
+            if outage.start_ns > at_ns:
+                break  # sorted by start; nothing later can cover at_ns
+            if outage.covers(at_ns, topic):
+                return outage
+        return None
+
+    def is_up(
+        self, topic: Optional[str] = None, at_ns: Optional[int] = None
+    ) -> bool:
+        """Whether a publish to ``topic`` would be accepted at ``at_ns``.
+
+        ``topic=None`` asks about the link as a whole (per-destination
+        partitions do not count); ``at_ns`` defaults to now.
+        """
+        when = self.scheduler.clock.now if at_ns is None else int(at_ns)
+        with self._lock:
+            return self._refusing_outage(topic, when) is None
+
+    def link_state(self, topic: Optional[str] = None) -> dict:
+        """Queryable link status: up/down, the covering outage, the next
+        scheduled down-window, and the delivery counters."""
+        now = self.scheduler.clock.now
+        with self._lock:
+            current = self._refusing_outage(topic, now)
+            upcoming = [
+                o.start_ns
+                for o in self._outages
+                if o.start_ns > now
+                and (o.prefixes is None or topic is None
+                     or o.covers(o.start_ns, topic))
+            ]
+            return {
+                "up": current is None,
+                "now_ns": now,
+                "down_until_ns": current.end_ns if current else None,
+                "next_outage_ns": min(upcoming) if upcoming else None,
+                "sent": self.sent,
+                "delivered": self.delivered,
+                "dropped": self.dropped,
+                "refused": self.refused,
+                "in_flight": self.sent - self.dropped - self.delivered,
+            }
 
     # ------------------------------------------------------------------
 
@@ -88,7 +235,22 @@ class NetworkConditions:
         )
 
     def publish(self, topic: str, value: float, timestamp: int) -> None:
-        """Send one message through the link."""
+        """Send one message through the link.
+
+        Raises :class:`LinkDownError` when a scheduled outage covers the
+        destination — the message never enters the link (not counted as
+        sent) and the producer decides whether to buffer and retry.
+        """
+        with self._lock:
+            outage = self._refusing_outage(topic, self.scheduler.clock.now)
+            if outage is not None:
+                self.refused += 1
+                until = outage.end_ns
+        if outage is not None:
+            raise LinkDownError(
+                f"link down for {topic!r} until t={until}ns",
+                until_ns=until,
+            )
         with self._lock:
             self.sent += 1
             if (
@@ -111,6 +273,33 @@ class NetworkConditions:
                 self.delivered += 1
 
         self.scheduler.add_once("net-delivery", deliver, due)
+
+    def publish_batch(self, messages: Sequence[Message]) -> None:
+        """Send many messages through the link, in list order.
+
+        Per-message semantics (latency sampling, drops, refusals) match
+        :meth:`publish` exactly — the batched store path behaves
+        identically to the scalar one behind a degraded link.  When any
+        destination is down, the deliverable messages still go out and
+        one :class:`LinkDownError` is raised afterwards carrying the
+        refused subset in its ``refused`` attribute, so store-and-forward
+        producers spill exactly what was not accepted.
+        """
+        refused: List[Message] = []
+        until = None
+        for msg in messages:
+            try:
+                self.publish(msg.topic, msg.value, msg.timestamp)
+            except LinkDownError as exc:
+                refused.append(msg)
+                if exc.until_ns is not None:
+                    until = max(until or 0, exc.until_ns)
+        if refused:
+            raise LinkDownError(
+                f"link refused {len(refused)}/{len(messages)} messages",
+                until_ns=until,
+                refused=refused,
+            )
 
     # Duck-type compatibility with Broker for producers that only publish.
     def subscribe(self, *args, **kwargs):

@@ -21,13 +21,15 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
-from repro.common.errors import ConfigError, PluginError
+from repro.common.errors import ConfigError, LinkDownError, PluginError
 from repro.common.timeutil import NS_PER_SEC
 from repro.dcdb.cache import SensorCache
 from repro.dcdb.mqtt import Broker, Message
 from repro.dcdb.plugins.base import MonitoringPlugin
+from repro.dcdb.resilience import ExponentialBackoff, SpillQueue
 from repro.dcdb.restapi import RestApi, RestResponse
 from repro.dcdb.sensor import Sensor
+from repro.sanitizer import hooks
 from repro.simulator.clock import TaskScheduler
 from repro.telemetry import Histogram, MetricRegistry, register_metrics_route
 
@@ -37,10 +39,18 @@ class Pusher:
 
     Args:
         name: host identifier (conventionally the node path it runs on).
-        broker: MQTT broker readings are published to.
+        broker: MQTT broker readings are published to (possibly behind a
+            :class:`~repro.dcdb.network.NetworkConditions` link).
         scheduler: shared task scheduler driving periodic sampling.
         cache_window_ns: retention of the per-sensor caches (the paper's
             experiments use 180 s).
+        spill_capacity: bound of the store-and-forward queue holding
+            publishes refused by a down link.
+        spill_policy: overflow policy of that queue (``drop-oldest``
+            default, or ``drop-newest``).
+        retry_base_ns / retry_max_ns: exponential reconnect backoff
+            bounds for re-publishing spilled readings.
+        retry_seed: deterministic jitter seed for the retry backoff.
     """
 
     def __init__(
@@ -49,11 +59,27 @@ class Pusher:
         broker: Broker,
         scheduler: TaskScheduler,
         cache_window_ns: int = 180 * NS_PER_SEC,
+        spill_capacity: int = 8192,
+        spill_policy: str = "drop-oldest",
+        retry_base_ns: int = NS_PER_SEC // 2,
+        retry_max_ns: int = 30 * NS_PER_SEC,
+        retry_seed: int = 0,
     ) -> None:
         self.name = name
         self.broker = broker
         self.scheduler = scheduler
         self.cache_window_ns = int(cache_window_ns)
+        # Store-and-forward state: refused publishes land in the spill
+        # queue and are replayed on reconnect.  Guarded by a sanitizer
+        # seam lock — sampling tasks and retry tasks may run on
+        # different threads under a WallClockDriver.
+        self._spill = SpillQueue(spill_capacity, spill_policy)
+        self._spill_lock = hooks.make_lock("Pusher.spill")
+        self._backoff = ExponentialBackoff(
+            retry_base_ns, retry_max_ns, seed=retry_seed
+        )
+        self._retry_pending = False
+        self._replaying = False
         self.caches: Dict[str, SensorCache] = {}
         self.sensors: Dict[str, Sensor] = {}
         self._plugins: Dict[str, MonitoringPlugin] = {}
@@ -65,6 +91,11 @@ class Pusher:
             "sampling_errors_total"
         )
         self._m_plugin_latency: Dict[str, Histogram] = {}
+        self._m_spill_buffered = self.telemetry.counter("spill_buffered_total")
+        self._m_spill_replayed = self.telemetry.counter("spill_replayed_total")
+        self._m_spill_dropped = self.telemetry.counter("spill_dropped_total")
+        self._m_link_refusals = self.telemetry.counter("link_refusals_total")
+        self.telemetry.gauge("spill_queue_depth", fn=lambda: len(self._spill))
         self._register_cache_gauges()
         self.last_sampling_errors: List[str] = []
         self.analytics: Optional[object] = None  # OperatorManager, if attached
@@ -170,6 +201,19 @@ class Pusher:
     # Data path (also used by Wintermute operator outputs)
     # ------------------------------------------------------------------
 
+    def _cache_for_sensor(self, sensor: Sensor) -> SensorCache:
+        """Lazy cache registration shared by the scalar and batch store
+        paths: operator outputs register with the host cache window the
+        first time they are written."""
+        cache = self.caches.get(sensor.topic)
+        if cache is None:
+            interval = getattr(sensor, "interval_hint_ns", 0) or NS_PER_SEC
+            cache = self.caches[sensor.topic] = SensorCache.for_duration(
+                self.cache_window_ns, interval
+            )
+            self.sensors[sensor.topic] = sensor
+        return cache
+
     def store_reading(self, sensor: Sensor, ts: int, value: float) -> None:
         """Cache a reading and publish it if the sensor is published.
 
@@ -177,17 +221,9 @@ class Pusher:
         them "identical to all other sensor data" (Section IV-d) and
         thus usable as pipeline inputs downstream.
         """
-        cache = self.caches.get(sensor.topic)
-        if cache is None:
-            # Operator outputs register lazily with the host cache window.
-            interval = getattr(sensor, "interval_hint_ns", 0) or NS_PER_SEC
-            cache = self.caches[sensor.topic] = SensorCache.for_duration(
-                self.cache_window_ns, interval
-            )
-            self.sensors[sensor.topic] = sensor
-        cache.store(ts, value)
+        self._cache_for_sensor(sensor).store(ts, value)
         if sensor.publish:
-            self.broker.publish(sensor.topic, value, ts)
+            self._publish(Message(sensor.topic, value, ts))
 
     def store_readings_batch(self, ts, readings) -> None:
         """Store a whole pass's operator outputs in one call.
@@ -200,18 +236,112 @@ class Pusher:
         """
         to_publish = []
         for sensor, value in readings:
-            cache = self.caches.get(sensor.topic)
-            if cache is None:
-                interval = getattr(sensor, "interval_hint_ns", 0) or NS_PER_SEC
-                cache = self.caches[sensor.topic] = SensorCache.for_duration(
-                    self.cache_window_ns, interval
-                )
-                self.sensors[sensor.topic] = sensor
-            cache.store(ts, value)
+            self._cache_for_sensor(sensor).store(ts, value)
             if sensor.publish:
                 to_publish.append(Message(sensor.topic, value, ts))
         if to_publish:
-            self.broker.publish_batch(to_publish)
+            self._publish_batch(to_publish)
+
+    # ------------------------------------------------------------------
+    # Store-and-forward publish path
+    # ------------------------------------------------------------------
+
+    @property
+    def spill_depth(self) -> int:
+        """Readings buffered for re-publication on reconnect."""
+        with self._spill_lock:
+            return len(self._spill)
+
+    def _queue_behind_spill(self) -> bool:
+        """While spilled readings await replay, new publishes must line
+        up behind them — bypassing the queue would reorder the stream
+        and the agent's caches would drop the late replays as stale."""
+        with self._spill_lock:
+            return self._replaying or len(self._spill) > 0
+
+    def _publish(self, msg: Message) -> None:
+        if self._queue_behind_spill():
+            self._spill_message(msg)
+            self._schedule_retry()
+            return
+        try:
+            self.broker.publish(msg.topic, msg.value, msg.timestamp)
+        except LinkDownError:
+            self._m_link_refusals.inc()
+            self._spill_message(msg)
+            self._schedule_retry()
+
+    def _publish_batch(self, messages: List[Message]) -> None:
+        publish_batch = getattr(self.broker, "publish_batch", None)
+        if publish_batch is None:
+            for msg in messages:
+                self._publish(msg)
+            return
+        if self._queue_behind_spill():
+            for msg in messages:
+                self._spill_message(msg)
+            self._schedule_retry()
+            return
+        try:
+            publish_batch(messages)
+        except LinkDownError as exc:
+            refused = exc.refused or list(messages)
+            self._m_link_refusals.inc(len(refused))
+            for msg in refused:
+                self._spill_message(msg)
+            self._schedule_retry()
+
+    def _spill_message(self, msg: Message) -> None:
+        with self._spill_lock:
+            evicted = self._spill.append(msg)
+        if evicted is msg:  # refused outright (drop-newest at capacity)
+            self._m_spill_dropped.inc()
+            return
+        self._m_spill_buffered.inc()
+        if evicted is not None:
+            self._m_spill_dropped.inc()
+
+    def _schedule_retry(self) -> None:
+        with self._spill_lock:
+            if self._retry_pending or not len(self._spill):
+                return
+            self._retry_pending = True
+            delay = self._backoff.next_delay()
+        self.scheduler.add_once(
+            f"{self.name}:spill-retry",
+            self._replay_spill,
+            self.scheduler.clock.now + delay,
+        )
+
+    def _replay_spill(self, ts: int) -> None:
+        """Re-publish spilled readings in order; on refusal, back off."""
+        with self._spill_lock:
+            self._retry_pending = False
+            self._replaying = True
+        try:
+            while True:
+                with self._spill_lock:
+                    msg = self._spill.popleft()
+                if msg is None:
+                    self._backoff.reset()
+                    return
+                try:
+                    self.broker.publish(msg.topic, msg.value, msg.timestamp)
+                except LinkDownError:
+                    self._m_link_refusals.inc()
+                    with self._spill_lock:
+                        self._spill.appendleft(msg)
+                    self._schedule_retry()
+                    return
+                self._m_spill_replayed.inc()
+        finally:
+            with self._spill_lock:
+                self._replaying = False
+
+    def flush_spill(self) -> int:
+        """Attempt an immediate replay; returns the remaining depth."""
+        self._replay_spill(self.scheduler.clock.now)
+        return self.spill_depth
 
     def cache_for(self, topic: str) -> Optional[SensorCache]:
         """The cache holding ``topic``'s readings, if locally present."""

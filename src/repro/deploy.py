@@ -26,6 +26,18 @@ Specification shape (all sections optional except ``cluster``)::
       "analytics": {
         "pushers": [ <wintermute plugin config block>, ... ],
         "agent":   [ <wintermute plugin config block>, ... ]
+      },
+      "network": {
+        "latency_ms": 5, "jitter_ms": 2, "drop_probability": 0.0,
+        "seed": 0,
+        "outages": [
+          {"start_s": 10, "end_s": 25,
+           "destinations": ["/rack00/chassis00/node00"]}
+        ],
+        "spill": {"capacity": 8192, "policy": "drop-oldest",
+                  "retry_base_ms": 500, "retry_max_ms": 30000,
+                  "seed": 0},
+        "ingest": {"queue_capacity": 100000, "policy": "drop-oldest"}
       }
     }
 
@@ -33,6 +45,13 @@ Specification shape (all sections optional except ``cluster``)::
 explicit ``node_paths`` list.  With a ``facility`` section, a cooling
 loop is attached to the cluster and sampled by a dedicated facility
 Pusher under ``/facility/cooling``.
+
+With a ``network`` section, every Pusher publishes through a
+:class:`~repro.dcdb.network.NetworkConditions` link (exposed as
+``deployment.link``): latency/jitter/loss apply to each message,
+``outages`` declares down-windows during which publishes are refused
+and spilled into the Pushers' store-and-forward queues (``spill``
+knobs), and ``ingest`` bounds the Collect Agent's MQTT queue.
 """
 
 from __future__ import annotations
@@ -46,6 +65,7 @@ from repro.common.errors import ConfigError
 from repro.common.timeutil import NS_PER_MS, NS_PER_SEC
 from repro.core.manager import OperatorManager
 from repro.dcdb import Broker, CollectAgent, Pusher
+from repro.dcdb.network import NetworkConditions
 from repro.dcdb.plugins import (
     OpaPlugin,
     PerfeventPlugin,
@@ -78,6 +98,7 @@ class Deployment:
         cache_window_ns: int = 180 * NS_PER_SEC,
         anomalies: Optional[Dict[str, float]] = None,
         tester_sensors: int = 100,
+        network: Optional[dict] = None,
     ) -> None:
         unknown = set(monitoring) - set(_MONITORING_PLUGINS)
         if unknown:
@@ -85,12 +106,51 @@ class Deployment:
         self.sim = ClusterSimulator(spec, seed=seed, anomalies=anomalies)
         self.scheduler = TaskScheduler()
         self.broker = Broker()
+        self.link: Optional[NetworkConditions] = None
+        self._transport = self.broker
+        self._pusher_kwargs: Dict[str, object] = {}
+        agent_kwargs: Dict[str, object] = {}
+        if network is not None:
+            self.link = NetworkConditions(
+                self.broker,
+                self.scheduler,
+                latency_ns=int(network.get("latency_ms", 0) * NS_PER_MS),
+                jitter_ns=int(network.get("jitter_ms", 0) * NS_PER_MS),
+                drop_probability=network.get("drop_probability", 0.0),
+                seed=network.get("seed", 0),
+            )
+            self._transport = self.link
+            for outage in network.get("outages", []):
+                self.link.schedule_outage(
+                    int(outage["start_s"] * NS_PER_SEC),
+                    int(outage["end_s"] * NS_PER_SEC),
+                    destinations=outage.get("destinations"),
+                )
+            spill = network.get("spill", {})
+            for src, dst, scale in (
+                ("capacity", "spill_capacity", None),
+                ("policy", "spill_policy", None),
+                ("retry_base_ms", "retry_base_ns", NS_PER_MS),
+                ("retry_max_ms", "retry_max_ns", NS_PER_MS),
+                ("seed", "retry_seed", None),
+            ):
+                if src in spill:
+                    value = spill[src]
+                    self._pusher_kwargs[dst] = (
+                        int(value * scale) if scale else value
+                    )
+            ingest = network.get("ingest", {})
+            if "queue_capacity" in ingest:
+                agent_kwargs["ingest_queue_capacity"] = ingest["queue_capacity"]
+            if "policy" in ingest:
+                agent_kwargs["ingest_policy"] = ingest["policy"]
         self.pushers: Dict[str, Pusher] = {}
         self.managers: Dict[str, OperatorManager] = {}
         for node in self.sim.node_paths:
             pusher = Pusher(
-                node, self.broker, self.scheduler,
+                node, self._transport, self.scheduler,
                 cache_window_ns=cache_window_ns,
+                **self._pusher_kwargs,
             )
             if "sysfs" in monitoring:
                 pusher.add_plugin(
@@ -126,6 +186,7 @@ class Deployment:
         self.agent = CollectAgent(
             "agent", self.broker, self.scheduler,
             cache_window_ns=cache_window_ns,
+            **agent_kwargs,
         )
         self.agent_manager = OperatorManager(
             context={"job_source": self.sim.scheduler}
@@ -150,7 +211,10 @@ class Deployment:
         self.cooling = CoolingSystem(self.sim)
         if setpoint_c is not None:
             self.cooling.set_setpoint(setpoint_c)
-        self.facility_pusher = Pusher("facility", self.broker, self.scheduler)
+        self.facility_pusher = Pusher(
+            "facility", self._transport, self.scheduler,
+            **self._pusher_kwargs,
+        )
         self.facility_pusher.add_plugin(
             FacilityPlugin(self.cooling, interval_ns=interval_ns)
         )
@@ -240,6 +304,7 @@ def build_deployment(config: dict) -> Deployment:
         ),
         anomalies=cluster.get("anomalies"),
         tester_sensors=monitoring.get("tester_sensors", 100),
+        network=config.get("network"),
     )
     for i, job_block in enumerate(config.get("jobs", [])):
         start = int(job_block.get("start_s", 0) * NS_PER_SEC)

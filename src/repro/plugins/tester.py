@@ -13,6 +13,11 @@ Params:
         ``relative``); selects the O(1) vs O(log N) engine path.
     ``range_ns`` / ``range_ms`` (number): temporal range per query;
         0 retrieves only the most recent value of each sensor.
+    ``fail_filter`` (str): **failure injection** for circuit-breaker
+        testing; a regular expression matched against unit names whose
+        computations then raise :class:`PluginError`.
+    ``fail_passes`` (int): how many computation attempts of a matching
+        unit fail before it heals; ``-1`` (default) fails forever.
     ``misbehave`` (str): **fault injection** for sanitizer validation;
         deliberately violates one concurrency invariant per computation:
         ``shared_model`` (one model object aliased across parallel
@@ -27,7 +32,9 @@ from __future__ import annotations
 import time
 from typing import Dict
 
-from repro.common.errors import ConfigError
+import re
+
+from repro.common.errors import ConfigError, PluginError
 from repro.common.timeutil import NS_PER_MS
 from repro.core.operator import OperatorBase, OperatorConfig
 from repro.core.registry import operator_plugin
@@ -66,6 +73,17 @@ class TesterOperator(OperatorBase):
                 f"{config.name}: misbehave must be one of "
                 f"{', '.join(MISBEHAVE_MODES)}"
             )
+        fail_filter = params.get("fail_filter")
+        try:
+            self.fail_filter = (
+                re.compile(fail_filter) if fail_filter is not None else None
+            )
+        except re.error as exc:
+            raise ConfigError(
+                f"{config.name}: bad fail_filter regex: {exc}"
+            ) from exc
+        self.fail_passes = int(params.get("fail_passes", -1))
+        self._fail_counts: Dict[str, int] = {}
         # The aliased "model" behind the shared_model fault: every unit
         # receives this same dict, reproducing the classic bug of a model
         # cached on the plugin instead of placed per-unit.
@@ -78,6 +96,7 @@ class TesterOperator(OperatorBase):
 
     def compute_unit(self, unit: Unit, ts: int) -> Dict[str, float]:
         assert self.engine is not None
+        self._maybe_fail(unit)
         retrieved = 0
         n_inputs = len(unit.inputs)
         if n_inputs == 0:
@@ -94,6 +113,23 @@ class TesterOperator(OperatorBase):
             retrieved += len(view)
         self._inject_fault(unit, ts, view)
         return {sensor.name: float(retrieved) for sensor in unit.outputs}
+
+    def _maybe_fail(self, unit: Unit) -> None:
+        """Raise for units matching ``fail_filter``, ``fail_passes`` times.
+
+        Exercises the operator error path (and the circuit breaker built
+        on it) through the real compute stack rather than a mock.
+        """
+        if self.fail_filter is None or not self.fail_filter.search(unit.name):
+            return
+        count = self._fail_counts.get(unit.name, 0)
+        if self.fail_passes >= 0 and count >= self.fail_passes:
+            return
+        self._fail_counts[unit.name] = count + 1
+        raise PluginError(
+            f"injected failure for unit {unit.name} "
+            f"(attempt {count + 1})"
+        )
 
     def _inject_fault(self, unit: Unit, ts: int, view) -> None:
         """Deliberately violate the invariant selected by ``misbehave``.

@@ -357,3 +357,67 @@ class TestDeployment:
             self.spec(cluster={"preset": "notacluster"})
         )
         assert "W016" in codes(diags, "error")
+
+
+class TestNetworkSection:
+    def spec(self, network):
+        return {
+            "cluster": {"nodes": 2, "cpus": 2},
+            "monitoring": {"plugins": ["sysfs"]},
+            "network": network,
+        }
+
+    def test_clean_network_section(self):
+        diags = analyze_deployment(self.spec({
+            "latency_ms": 5,
+            "jitter_ms": 2,
+            "drop_probability": 0.01,
+            "seed": 7,
+            "outages": [
+                {"start_s": 10, "end_s": 20,
+                 "destinations": ["/r0/c0/n0"]},
+            ],
+            "spill": {"capacity": 1000, "policy": "drop-oldest",
+                      "retry_base_ms": 100, "retry_max_ms": 2000},
+            "ingest": {"queue_capacity": 5000, "policy": "drop-newest"},
+        }))
+        assert diags == []
+
+    def test_unknown_keys_flagged(self):
+        diags = analyze_deployment(self.spec({
+            "latency": 5,                       # W003: must be latency_ms
+            "spill": {"cap": 10},               # W003 nested
+            "ingest": {"policy": "drop-oldest", "qcap": 1},  # W003 nested
+        }))
+        assert codes(diags, "warning").count("W003") == 3
+
+    def test_value_errors(self):
+        diags = analyze_deployment(self.spec({
+            "latency_ms": 1,
+            "jitter_ms": 5,                     # W016: jitter > latency
+            "drop_probability": 1.0,            # W016: must be < 1
+        }))
+        got = codes(diags, "error")
+        assert got.count("W016") == 2
+
+    def test_outage_shape_errors(self):
+        diags = analyze_deployment(self.spec({
+            "outages": [
+                {"end_s": 5},                   # missing start_s
+                {"start_s": 9, "end_s": 3},     # end before start
+                {"start_s": 1, "end_s": 2, "destinations": []},
+            ],
+        }))
+        assert codes(diags, "error").count("W016") == 3
+
+    def test_spill_and_ingest_value_errors(self):
+        diags = analyze_deployment(self.spec({
+            "spill": {"capacity": 0, "policy": "drop-something",
+                      "retry_base_ms": 500, "retry_max_ms": 100},
+            "ingest": {"queue_capacity": -1},
+        }))
+        assert codes(diags, "error").count("W016") == 4
+
+    def test_network_must_be_mapping(self):
+        diags = analyze_deployment(self.spec([1, 2]))
+        assert "W005" in codes(diags, "error")

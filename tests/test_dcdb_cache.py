@@ -311,3 +311,95 @@ class TestStoreBatchOrdering:
         c.store(50, 2.0)  # stale single store
         c.store_batch(np.array([10, 20]), np.array([0.0, 0.0]))
         assert c.stale_drops == 3
+
+
+class TestResize:
+    def test_grow_preserves_contents(self):
+        c = SensorCache(4)
+        for i in range(4):
+            c.store(i * NS_PER_SEC, float(i))
+        c.resize(16)
+        assert c.capacity == 16
+        v = c.view_relative(100 * NS_PER_SEC)
+        assert list(v.values()) == [0.0, 1.0, 2.0, 3.0]
+        # Newly freed slots are writable and ordering survives.
+        c.store(4 * NS_PER_SEC, 4.0)
+        assert len(c) == 5
+        assert c.latest().value == 4.0
+
+    def test_grow_preserves_wrapped_ring(self):
+        c = SensorCache(4)
+        for i in range(7):  # wraps: slots hold 3,4,5,6
+            c.store(i * NS_PER_SEC, float(i))
+        c.resize(8)
+        v = c.view_relative(100 * NS_PER_SEC)
+        assert list(v.values()) == [3.0, 4.0, 5.0, 6.0]
+        ts = v.timestamps()
+        assert list(ts) == sorted(ts)
+
+    def test_shrink_keeps_newest(self):
+        c = SensorCache(8)
+        for i in range(8):
+            c.store(i * NS_PER_SEC, float(i))
+        c.resize(3)
+        assert c.capacity == 3
+        v = c.view_relative(100 * NS_PER_SEC)
+        assert list(v.values()) == [5.0, 6.0, 7.0]
+
+    def test_same_capacity_is_noop(self):
+        c = SensorCache(4)
+        c.store(NS_PER_SEC, 1.0)
+        c.resize(4)
+        assert len(c) == 1
+
+    def test_invalid_capacity_rejected(self):
+        c = SensorCache(4)
+        with pytest.raises(ValueError):
+            c.resize(0)
+        with pytest.raises(ValueError):
+            c.resize(-3)
+
+
+class TestIngestCacheSizing:
+    """Regression: the Collect Agent used to size ingest caches with a
+    hard-wired 1 Hz assumption (window seconds + 1 readings), so a
+    faster remote sensor silently retained only a fraction of the
+    configured cache window.  Sizing must follow the observed
+    inter-arrival gap instead."""
+
+    def test_fast_sensor_retains_full_window(self):
+        from repro.dcdb import Broker, CollectAgent
+        from repro.simulator.clock import TaskScheduler
+
+        scheduler = TaskScheduler()
+        broker = Broker()
+        agent = CollectAgent("agent", broker, scheduler)  # 180 s window
+        topic = "/r0/c0/n0/power"
+        gap = NS_PER_SEC // 10  # 10 Hz
+        n = 400  # 40 s of traffic: all inside the 180 s window
+        for i in range(n):
+            scheduler.run_until(i * gap)
+            broker.publish(topic, float(i), i * gap)
+        agent.flush()
+        cache = agent.caches[topic]
+        # Pre-fix the cache was pinned at 181 slots and dropped the
+        # oldest 219 readings despite the window covering all of them.
+        v = cache.view_relative(180 * NS_PER_SEC)
+        assert len(v.timestamps()) == n
+        assert cache.capacity >= n
+
+    def test_slow_sensor_does_not_balloon(self):
+        from repro.dcdb import Broker, CollectAgent
+        from repro.simulator.clock import TaskScheduler
+
+        scheduler = TaskScheduler()
+        broker = Broker()
+        agent = CollectAgent("agent", broker, scheduler)
+        topic = "/r0/c0/n0/temp"
+        for i in range(5):  # 10 s cadence: slower than the 1 Hz guess
+            scheduler.run_until(i * 10 * NS_PER_SEC)
+            broker.publish(topic, float(i), i * 10 * NS_PER_SEC)
+        agent.flush()
+        # The initial 1 Hz guess stays an upper bound; a slower cadence
+        # must not grow the ring.
+        assert agent.caches[topic].capacity == 181
