@@ -1,6 +1,6 @@
 """Offline static analysis for Wintermute configurations and sources.
 
-Two halves (surfaced through ``wintermute-sim check``):
+Three halves (surfaced through ``wintermute-sim check``):
 
 - :mod:`repro.analysis.config` — a **static configuration analyzer**:
   validates plugin blocks and whole deployment specs without
@@ -11,6 +11,12 @@ Two halves (surfaced through ``wintermute-sim check``):
   reports per-operator unit-expansion cardinality — so a block that
   would instantiate 100k units (Section III-C's scaling property) is
   visible before anything runs.
+- :mod:`repro.analysis.flow` — a **whole-deployment dataflow analyzer**
+  (F rules): abstract interpretation over the resolved deployment that
+  propagates per-topic production periods, physical units and producer
+  schedules, checking window demand vs cache supply, unit dimension
+  mixing, interval aliasing, per-host memory footprints and resilience
+  budgets before anything runs.
 - :mod:`repro.analysis.astlint` — a **repo-specific AST lint pass**
   enforcing invariants generic linters cannot express: lock discipline,
   simulation-clock purity, no silent broad excepts, and no writes to
@@ -49,6 +55,10 @@ __all__ = [
     "analyze_pipeline_blocks",
     "analyze_plugin_block",
     "trees_from_deployment",
+    "analyze_flow",
+    "build_flow_model",
+    "flow_report",
+    "render_flow_report",
     "lint_paths",
     "lint_source",
     "extract_configs",
@@ -59,6 +69,10 @@ _LAZY = {
     "analyze_pipeline_blocks": "repro.analysis.config",
     "analyze_plugin_block": "repro.analysis.config",
     "trees_from_deployment": "repro.analysis.config",
+    "analyze_flow": "repro.analysis.flow",
+    "build_flow_model": "repro.analysis.flow",
+    "flow_report": "repro.analysis.flow",
+    "render_flow_report": "repro.analysis.flow",
     "lint_paths": "repro.analysis.astlint",
     "lint_source": "repro.analysis.astlint",
     "extract_configs": "repro.analysis.extract",

@@ -33,6 +33,12 @@ Generic linters don't know this codebase's invariants; these rules do:
   avoid N scalar queries per pass, and the scalar loop creeping back in
   silently forfeits the compiled-plan fast path.  Intentional scalar
   fallbacks carry an explicit ``allow`` marker.
+- **L008** — a mutable class-level default (``list``/``dict``/``set``
+  literal, comprehension or constructor call) on an operator plugin
+  class is shared by every instance — and operator instances are shared
+  across units, so one unit's mutation bleeds into all others.
+  Initialise mutable state in ``__init__`` (or ``make_model``).
+  ALL_CAPS names are treated as read-only class constants and exempt.
 
 Suppression: append ``# lint: allow(CODE)`` to the offending line.
 """
@@ -46,7 +52,8 @@ from typing import Iterable, List, Optional, Sequence, Set
 from repro.analysis.diagnostics import Diagnostic, sort_key
 
 #: Rule codes implemented by this module.
-LINT_CODES = ("L001", "L002", "L003", "L004", "L005", "L006", "L007")
+LINT_CODES = ("L001", "L002", "L003", "L004", "L005", "L006", "L007",
+              "L008")
 
 _WALL_CLOCK_FUNCS = {"time", "monotonic"}
 _COMPUTE_METHODS = {"compute", "compute_unit"}
@@ -515,6 +522,69 @@ def _lint_scalar_query_loop(
                         ))
 
 
+#: Expression nodes whose value is a freshly built *mutable* container.
+_MUTABLE_LITERALS = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+_MUTABLE_CTORS = ("list", "dict", "set", "defaultdict", "deque",
+                  "OrderedDict", "Counter")
+
+
+def _is_mutable_default(value: ast.AST) -> bool:
+    if isinstance(value, _MUTABLE_LITERALS):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(
+            func, "id", ""
+        )
+        return name in _MUTABLE_CTORS
+    return False
+
+
+def _is_constant_name(name: str) -> bool:
+    """ALL_CAPS (optionally ``_``-prefixed) names follow the read-only
+    class-constant convention and are exempt from L008."""
+    bare = name.lstrip("_")
+    return bool(bare) and bare == bare.upper()
+
+
+def _lint_mutable_class_default(
+    tree: ast.Module, path: str, out: List[Diagnostic], sup: _Suppressions
+) -> None:
+    """L008 — mutable class-level default on an operator plugin class."""
+    for cls in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
+        if not _is_operator_plugin_class(cls):
+            continue
+        for stmt in cls.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names or all(_is_constant_name(n) for n in names):
+                continue
+            if not _is_mutable_default(value):
+                continue
+            if sup.active(stmt.lineno, "L008"):
+                continue
+            out.append(Diagnostic(
+                code="L008",
+                severity="error",
+                message=(
+                    f"{cls.name}.{names[0]} is a mutable class-level "
+                    f"default shared by every instance (and operator "
+                    f"instances are shared across units) — initialise it "
+                    f"in __init__ or make_model, or rename it ALL_CAPS "
+                    f"if it is a read-only constant"
+                ),
+                file=path,
+                line=stmt.lineno,
+            ))
+
+
 _RULES = (
     _lint_lock_discipline,
     _lint_wall_clock,
@@ -523,6 +593,7 @@ _RULES = (
     _lint_thread_lifecycle,
     _lint_sleep_in_compute,
     _lint_scalar_query_loop,
+    _lint_mutable_class_default,
 )
 
 

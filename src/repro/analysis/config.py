@@ -674,8 +674,15 @@ def analyze_deployment(
     known_plugins: Optional[Sequence[str]] = None,
     collector: Optional[DiagnosticCollector] = None,
     max_units: int = DEFAULT_MAX_UNITS,
+    flow: bool = False,
+    flow_memory_budget_mb: Optional[float] = None,
 ) -> List[Diagnostic]:
-    """Analyze a whole deployment specification (see :mod:`repro.deploy`)."""
+    """Analyze a whole deployment specification (see :mod:`repro.deploy`).
+
+    With ``flow=True`` the dataflow pass (:mod:`repro.analysis.flow`,
+    F rules) runs after the structural rules, reusing the sensor trees
+    synthesized here instead of rebuilding them.
+    """
     from repro.deploy import _MONITORING_PLUGINS
     from repro.simulator.engine import CPU_COUNTERS
     from repro.simulator.workload import APP_PROFILES
@@ -825,5 +832,20 @@ def analyze_deployment(
         analyze_pipeline_blocks(
             blocks, tree, known_plugins,
             out.at("analytics", context), max_units=max_units,
+        )
+    if flow:
+        from repro.analysis.flow import DEFAULT_MEMORY_BUDGET_MB, analyze_flow
+
+        analyze_flow(
+            spec, out,
+            memory_budget_mb=(
+                flow_memory_budget_mb if flow_memory_budget_mb is not None
+                else DEFAULT_MEMORY_BUDGET_MB
+            ),
+            trees=(
+                (agent_tree, pusher_tree)
+                if agent_tree is not None and pusher_tree is not None
+                else None
+            ),
         )
     return out.sink[start:]

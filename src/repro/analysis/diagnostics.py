@@ -88,9 +88,15 @@ class Diagnostic:
 
 
 def sort_key(diag: Diagnostic):
-    """Deterministic ordering: severity, then location, then code."""
-    return (_SEVERITY_RANK.get(diag.severity, len(SEVERITIES)),
-            diag.file, diag.line, diag.path, diag.code, diag.message)
+    """Deterministic ordering: file, then location, then code.
+
+    Grouping by location (not severity) keeps every finding about one
+    file/config path adjacent in reports and makes output diffable
+    across runs that add or reclassify rules; severity only breaks ties
+    between co-located findings of the same code.
+    """
+    return (diag.file, diag.line, diag.path, diag.code,
+            _SEVERITY_RANK.get(diag.severity, len(SEVERITIES)), diag.message)
 
 
 def count_by_severity(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:

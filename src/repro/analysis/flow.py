@@ -1,0 +1,794 @@
+"""Whole-deployment dataflow analyzer (``wintermute-sim check --flow``).
+
+The structural analyzer (:mod:`repro.analysis.config`, W rules) proves
+that a deployment's pattern units *resolve*; this module proves that the
+data flowing through them makes sense.  It performs an abstract
+interpretation over the resolved deployment — the synthesized sensor
+trees, the Unit-System expansion of every operator, and the pipeline
+wiring across Pushers and Collect Agent — propagating one
+:class:`FlowFact` per sensor topic:
+
+- the **production period** (monitoring interval, operator interval ×
+  unit cadence, per-plugin rate transforms);
+- the **physical unit** (from monitoring plugin sensor tables, carried
+  through operators via their declarative
+  :meth:`~repro.core.operator.OperatorBase.flow_transforms` metadata);
+- the **producer** (for cross-stage scheduling checks).
+
+From those facts it checks window demand against cache supply, unit
+dimension mixing, interval aliasing, per-host cache memory footprints,
+and the deployment's resilience budgets against PR 5's network section
+— all before a single runtime component is instantiated.
+
+Findings are reported through the shared Diagnostic machinery under the
+stable rule family **F001–F012** (catalog in ``docs/STATIC_ANALYSIS.md``):
+
+====  ========  =====================================================
+code  severity  condition
+====  ========  =====================================================
+F001  error     operator window longer than the cache retention
+F002  warning   window within two input periods of the cache retention
+F003  error     window shorter than an input's production period
+F004  info      interval faster than every input (redundant recompute)
+F005  warning   interval so slow that readings skip every window
+F006  error     mixed physical dimensions pooled by one output
+F007  info      output unit unknown (no metadata / unknown inputs)
+F008  warning   estimated host cache footprint exceeds the budget
+F009  error     worst outage × publish rate overflows the spill queue
+F010  warning   breaker backoff shorter than the worst outage (flap)
+F011  warning   downstream stage fires before upstream's first output
+F012  warning   post-outage replay burst overflows the ingest queue
+====  ========  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticCollector
+from repro.common.timeutil import NS_PER_MS, NS_PER_SEC
+
+#: Default per-host cache memory budget (F008), in MiB.
+DEFAULT_MEMORY_BUDGET_MB = 1024
+
+#: Bytes per cached reading: one int64 timestamp + one float64 value.
+_CACHE_ENTRY_BYTES = 16
+#: Sizing slack mirroring ``SensorCache.for_duration``.
+_CACHE_SLACK = 1.2
+
+#: Unit algebra of the ``per-second`` transform (delta / elapsed time).
+_PER_SECOND = {
+    "J": "W",      # energy per second is power
+    "s": "1",      # seconds per second cancels
+    "1": "1/s",
+    "#": "#/s",
+}
+
+_UNKNOWN = ""  # unit or period we cannot infer
+
+
+@dataclass
+class FlowFact:
+    """What the analyzer knows about one sensor topic."""
+
+    topic: str
+    #: Production period in ns; 0 = unknown (e.g. ondemand outputs).
+    period_ns: int = 0
+    #: Physical unit; "" = unknown, "1" = dimensionless.
+    unit: str = _UNKNOWN
+    #: Producing stage, e.g. ``monitoring`` or ``pushers/aggregator/avg``.
+    producer: str = "monitoring"
+    #: First computation time of the producing operator (scheduling).
+    first_fire_ns: int = 0
+
+
+@dataclass
+class OperatorFlowView:
+    """Per-operator summary retained for the ``--flow-report`` view."""
+
+    context: str
+    label: str
+    n_units: int
+    interval_ns: int
+    window_ns: int
+    effective_period_ns: int
+    is_job_plugin: bool = False
+    mode: str = "online"
+    #: output sensor name -> inferred unit ("" = unknown).
+    output_units: Dict[str, str] = field(default_factory=dict)
+    n_output_topics: int = 0
+
+
+@dataclass
+class FlowModel:
+    """The propagated dataflow facts of one deployment."""
+
+    facts: Dict[str, FlowFact] = field(default_factory=dict)
+    operators: List[OperatorFlowView] = field(default_factory=list)
+    #: host label -> estimated cache footprint in bytes.
+    host_memory: Dict[str, int] = field(default_factory=dict)
+    monitoring_interval_ns: int = NS_PER_SEC
+    cache_window_ns: int = 180 * NS_PER_SEC
+    n_base_topics: int = 0
+    n_pushers: int = 0
+    #: Worst scheduled outage in ns (0 = none).
+    worst_outage_ns: int = 0
+    #: Per-pusher MQTT publish rate in readings/second.
+    publish_rate_hz: float = 0.0
+    spill_capacity: int = 8192
+    ingest_queue_capacity: Optional[int] = None
+    memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB
+
+
+# ----------------------------------------------------------------------
+# Formatting helpers
+# ----------------------------------------------------------------------
+
+def _fmt_s(ns: int) -> str:
+    """Compact seconds rendering of a ns quantity (``2.5s``, ``100ms``)."""
+    if ns <= 0:
+        return "?"
+    if ns % NS_PER_SEC == 0:
+        return f"{ns // NS_PER_SEC}s"
+    if ns < NS_PER_SEC:
+        return f"{ns / NS_PER_MS:g}ms"
+    return f"{ns / NS_PER_SEC:g}s"
+
+
+def _fmt_mb(nbytes: int) -> str:
+    return f"{nbytes / (1024 * 1024):.1f} MiB"
+
+
+def _cache_entries(window_ns: int, period_ns: int) -> int:
+    """Ring capacity ``SensorCache.for_duration`` would allocate."""
+    if period_ns <= 0:
+        return 2
+    return max(2, int(math.ceil(window_ns / period_ns * _CACHE_SLACK)) + 1)
+
+
+def _sensor_name(topic: str) -> str:
+    return topic.rsplit("/", 1)[-1]
+
+
+# ----------------------------------------------------------------------
+# Base facts: the monitoring layer
+# ----------------------------------------------------------------------
+
+def _monitoring_unit_table(plugins: Sequence[str], counters) -> Dict[str, str]:
+    """sensor-name -> physical unit for the enabled monitoring plugins."""
+    table: Dict[str, str] = {}
+    if "sysfs" in plugins:
+        from repro.dcdb.plugins.sysfs import SENSOR_UNITS
+
+        table.update(SENSOR_UNITS)
+    if "procfs" in plugins:
+        from repro.dcdb.plugins.procfs import SENSOR_UNITS
+
+        table.update(SENSOR_UNITS)
+    if "opa" in plugins:
+        from repro.dcdb.plugins.opa import SENSOR_UNITS
+
+        table.update(SENSOR_UNITS)
+    if "perfevent" in plugins:
+        table.update({c: "#" for c in counters})
+    # tester sensors stay unknown: they carry synthetic values.
+    return table
+
+
+def _base_facts(
+    spec: dict, agent_tree, model: FlowModel
+) -> Dict[str, FlowFact]:
+    """One fact per monitoring/facility sensor topic."""
+    from repro.simulator.engine import CPU_COUNTERS
+    from repro.simulator.facility import FACILITY_SENSOR_UNITS
+
+    monitoring = spec.get("monitoring", {})
+    if not isinstance(monitoring, dict):
+        monitoring = {}
+    plugins = monitoring.get("plugins", ("sysfs",))
+    if not isinstance(plugins, (list, tuple)):
+        plugins = ("sysfs",)
+    counters = monitoring.get("perfevent_counters") or list(CPU_COUNTERS)
+    units = _monitoring_unit_table(plugins, counters)
+
+    facility = spec.get("facility", {})
+    if not isinstance(facility, dict):
+        facility = {}
+    facility_interval = facility.get("interval_s", 10)
+    if not isinstance(facility_interval, (int, float)) or facility_interval <= 0:
+        facility_interval = 10
+    facility_period_ns = int(facility_interval * NS_PER_SEC)
+
+    facts: Dict[str, FlowFact] = {}
+    for topic in agent_tree.all_sensor_topics():
+        name = _sensor_name(topic)
+        if topic.startswith("/facility/"):
+            facts[topic] = FlowFact(
+                topic, facility_period_ns,
+                FACILITY_SENSOR_UNITS.get(name, _UNKNOWN), "monitoring",
+            )
+        else:
+            facts[topic] = FlowFact(
+                topic, model.monitoring_interval_ns,
+                units.get(name, _UNKNOWN), "monitoring",
+            )
+    return facts
+
+
+# ----------------------------------------------------------------------
+# Operator fact propagation
+# ----------------------------------------------------------------------
+
+def _transforms_of(plugin: str, params: dict) -> List[Tuple[str, object]]:
+    """Ordered (output-glob, transform) metadata of a plugin, or []."""
+    from repro.core.registry import get_plugin_class
+
+    cls = get_plugin_class(plugin)
+    if cls is None:
+        return []
+    try:
+        transforms = cls.flow_transforms(dict(params or {}))
+    except Exception:
+        return []  # third-party metadata bugs must not kill the analyzer
+    if not isinstance(transforms, dict):
+        return []
+    return [(k, v) for k, v in transforms.items() if isinstance(k, str)]
+
+
+def _output_unit(
+    name: str,
+    transforms: List[Tuple[str, object]],
+    input_units: Set[str],
+    input_unit_by_name: Dict[str, str],
+) -> Tuple[str, bool, bool]:
+    """(unit, pools_inputs, matched) of one output sensor name.
+
+    ``pools_inputs`` marks transforms whose result dimension depends on
+    the pooled input set (``preserve`` / ``per-second``) — the ones the
+    F006 mixed-dimension rule applies to.
+    """
+    for pattern, transform in transforms:
+        if not fnmatchcase(name, pattern):
+            continue
+        if transform == "dimensionless":
+            return "1", False, True
+        if transform == "preserve":
+            unit = next(iter(input_units)) if len(input_units) == 1 else _UNKNOWN
+            return unit, True, True
+        if transform == "per-second":
+            if len(input_units) == 1:
+                base = next(iter(input_units))
+                return _PER_SECOND.get(base, f"{base}/s"), True, True
+            return _UNKNOWN, True, True
+        if (
+            isinstance(transform, (tuple, list))
+            and len(transform) == 2
+            and transform[0] == "input"
+        ):
+            return input_unit_by_name.get(str(transform[1]), _UNKNOWN), False, True
+        return _UNKNOWN, False, True  # unknown transform kind
+    return _UNKNOWN, False, False
+
+
+def _propagate_operator(
+    op,
+    context: str,
+    facts: Dict[str, FlowFact],
+    model: FlowModel,
+    out: DiagnosticCollector,
+) -> None:
+    """Derive one operator's checks and output facts from its inputs."""
+    config = op.config
+    effective_period = config.interval_ns * config.unit_cadence
+    first_fire = config.delay_ns + config.interval_ns
+    label = f"{context}/{op.label}"
+
+    view = OperatorFlowView(
+        context=context, label=op.label, n_units=len(op.units),
+        interval_ns=config.interval_ns, window_ns=config.window_ns,
+        effective_period_ns=effective_period,
+        is_job_plugin=op.is_job_plugin, mode=config.mode,
+    )
+    model.operators.append(view)
+
+    input_topics = sorted({t for u in op.units for t in u.inputs})
+    input_facts = [facts[t] for t in input_topics if t in facts]
+    known_periods = sorted(
+        {f.period_ns for f in input_facts if f.period_ns > 0}
+    )
+    known_units = {f.unit for f in input_facts if f.unit}
+    unit_by_name: Dict[str, str] = {}
+    for f in input_facts:
+        unit_by_name.setdefault(_sensor_name(f.topic), f.unit)
+
+    scheduled = config.mode == "online"
+    if input_facts:
+        _check_windows(config, known_periods, model, out, scheduled,
+                       effective_period)
+        if scheduled:
+            _check_upstream_schedule(
+                op, first_fire, input_topics, facts, out
+            )
+
+    # ------------------------------------------------------------------
+    # Output units + facts
+    # ------------------------------------------------------------------
+    transforms = _transforms_of(op.plugin, config.params)
+    output_names = sorted({s.name for u in op.units for s in u.outputs})
+    mixed_outputs: List[str] = []
+    unknown_outputs: List[str] = []
+    unit_of: Dict[str, str] = {}
+    for name in output_names:
+        unit, pools, matched = _output_unit(
+            name, transforms, known_units, unit_by_name
+        )
+        unit_of[name] = unit
+        if pools and len(known_units) > 1:
+            mixed_outputs.append(name)
+        elif not unit:
+            unknown_outputs.append(name)
+    view.output_units = unit_of
+
+    if mixed_outputs:
+        out.error(
+            "F006",
+            f"operator {op.label!r} pools inputs of mixed physical "
+            f"dimensions {sorted(known_units)} into output(s) "
+            f"{mixed_outputs}; aggregate per dimension or split the "
+            f"operator",
+        )
+    if unknown_outputs:
+        reason = (
+            "inputs have unknown units" if transforms
+            else f"plugin {op.plugin!r} declares no flow_transforms metadata"
+        )
+        out.info(
+            "F007",
+            f"operator {op.label!r}: output unit unknown for "
+            f"{unknown_outputs} ({reason})",
+        )
+
+    output_period = effective_period if scheduled else 0
+    for unit in op.units:
+        for sensor in unit.outputs:
+            facts[sensor.topic] = FlowFact(
+                sensor.topic, output_period,
+                unit_of.get(sensor.name, _UNKNOWN), label, first_fire,
+            )
+            view.n_output_topics += 1
+
+
+def _check_windows(
+    config,
+    known_periods: List[int],
+    model: FlowModel,
+    out: DiagnosticCollector,
+    scheduled: bool,
+    effective_period: int,
+) -> None:
+    """F001-F005: window demand vs cache supply and interval aliasing."""
+    window = config.window_ns
+    slowest = known_periods[-1] if known_periods else 0
+    fastest = known_periods[0] if known_periods else 0
+    retention = model.cache_window_ns
+
+    if window > 0:
+        if window > retention:
+            out.at("window").error(
+                "F001",
+                f"operator {config.name!r} queries a {_fmt_s(window)} "
+                f"window but caches only retain "
+                f"{_fmt_s(retention)} (monitoring.cache_window_s); the "
+                f"window is guaranteed short",
+            )
+        elif slowest and window > retention - 2 * slowest:
+            out.at("window").warning(
+                "F002",
+                f"operator {config.name!r}: {_fmt_s(window)} window is "
+                f"within two input periods ({_fmt_s(slowest)}) of the "
+                f"{_fmt_s(retention)} cache retention; sampling jitter "
+                f"may truncate it",
+            )
+        if slowest and window < slowest:
+            out.at("window").error(
+                "F003",
+                f"operator {config.name!r}: {_fmt_s(window)} window is "
+                f"shorter than its slowest input's {_fmt_s(slowest)} "
+                f"production period, so it holds at most one sample",
+            )
+    if not scheduled:
+        return
+    if fastest and effective_period < fastest:
+        out.at("interval").info(
+            "F004",
+            f"operator {config.name!r} computes every "
+            f"{_fmt_s(effective_period)} but its fastest input only "
+            f"produces every {_fmt_s(fastest)}; recomputations between "
+            f"new readings are redundant",
+        )
+    if window > 0 and slowest and effective_period > window + slowest:
+        coverage = 100.0 * (window + slowest) / effective_period
+        out.at("interval").warning(
+            "F005",
+            f"operator {config.name!r} computes every "
+            f"{_fmt_s(effective_period)} over a {_fmt_s(window)} window: "
+            f"only ~{coverage:.0f}% of input readings ever enter a "
+            f"window (undersampling)",
+        )
+
+
+def _check_upstream_schedule(
+    op, first_fire: int, input_topics, facts, out: DiagnosticCollector
+) -> None:
+    """F011: does the first pass run before upstream data can exist?"""
+    flagged: Set[str] = set()
+    for topic in input_topics:
+        fact = facts.get(topic)
+        if fact is None or fact.producer == "monitoring":
+            continue
+        if fact.producer in flagged:
+            continue
+        if first_fire <= fact.first_fire_ns:
+            flagged.add(fact.producer)
+            out.at("delay").warning(
+                "F011",
+                f"operator {op.label!r} first computes at "
+                f"{_fmt_s(first_fire)} but upstream {fact.producer!r} "
+                f"first produces at {_fmt_s(fact.first_fire_ns)}; the "
+                f"first pass will see no data (add a delay)",
+            )
+
+
+# ----------------------------------------------------------------------
+# Cross-host replication
+# ----------------------------------------------------------------------
+
+def _replicate_pusher_outputs(
+    facts: Dict[str, FlowFact],
+    agent_tree,
+    source_root: str,
+    node_paths: Sequence[str],
+) -> None:
+    """Spread pusher-stage output facts across every node of the fleet.
+
+    Pusher pipelines are resolved against one representative node; at
+    runtime every node runs the same pipeline, so each output topic
+    exists once per node — which is what the agent-side model (and the
+    agent memory estimate) must see.
+    """
+    from repro.common.errors import TopicError
+
+    source = source_root.rstrip("/")
+    pusher_facts = [
+        f for f in facts.values() if f.producer.startswith("pushers/")
+    ]
+    for fact in pusher_facts:
+        if fact.topic.startswith(source + "/"):
+            suffix = fact.topic[len(source):]
+            targets = [f"{n.rstrip('/')}{suffix}" for n in node_paths]
+        else:
+            targets = [fact.topic]  # above the node level: exists as-is
+        for topic in targets:
+            facts.setdefault(
+                topic,
+                FlowFact(topic, fact.period_ns, fact.unit, fact.producer,
+                         fact.first_fire_ns),
+            )
+            try:
+                agent_tree.add_sensor(topic)
+            except TopicError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Memory and resilience budgets
+# ----------------------------------------------------------------------
+
+def _estimate_memory(
+    topics: Sequence[str], facts: Dict[str, FlowFact], model: FlowModel
+) -> int:
+    """Estimated cache bytes for one host caching ``topics``."""
+    total = 0
+    for topic in topics:
+        fact = facts.get(topic)
+        period = fact.period_ns if fact and fact.period_ns > 0 else (
+            model.monitoring_interval_ns
+        )
+        total += _cache_entries(model.cache_window_ns, period) * _CACHE_ENTRY_BYTES
+    return total
+
+
+def _check_memory(model: FlowModel, out: DiagnosticCollector) -> None:
+    budget = model.memory_budget_mb * 1024 * 1024
+    for host, nbytes in sorted(model.host_memory.items()):
+        if nbytes > budget:
+            out.at("monitoring", "cache_window_s").warning(
+                "F008",
+                f"estimated sensor-cache footprint on the {host} is "
+                f"{_fmt_mb(nbytes)}, over the "
+                f"{model.memory_budget_mb:g} MiB budget; shrink "
+                f"cache_window_s or the sensor set "
+                f"(--flow-memory-budget-mb adjusts the budget)",
+            )
+
+
+def _network_section(spec: dict) -> dict:
+    network = spec.get("network")
+    return network if isinstance(network, dict) else {}
+
+
+def _worst_outage_ns(network: dict) -> int:
+    worst = 0.0
+    outages = network.get("outages", [])
+    if not isinstance(outages, list):
+        return 0
+    for outage in outages:
+        if not isinstance(outage, dict):
+            continue
+        start, end = outage.get("start_s"), outage.get("end_s")
+        if isinstance(start, (int, float)) and isinstance(end, (int, float)):
+            worst = max(worst, float(end) - float(start))
+    return int(worst * NS_PER_SEC) if worst > 0 else 0
+
+
+def _check_resilience(
+    spec: dict,
+    pusher_ops,
+    model: FlowModel,
+    out: DiagnosticCollector,
+) -> None:
+    """F009/F010/F012: outage demand vs spill, breaker and ingest budgets."""
+    network = _network_section(spec)
+    model.worst_outage_ns = _worst_outage_ns(network)
+
+    spill = network.get("spill", {})
+    capacity = spill.get("capacity") if isinstance(spill, dict) else None
+    if isinstance(capacity, int) and not isinstance(capacity, bool) and capacity >= 1:
+        model.spill_capacity = capacity
+    ingest = network.get("ingest", {})
+    queue = ingest.get("queue_capacity") if isinstance(ingest, dict) else None
+    if isinstance(queue, int) and not isinstance(queue, bool) and queue >= 1:
+        model.ingest_queue_capacity = queue
+
+    # Per-pusher publish rate: every monitoring reading, plus every
+    # published online operator output.
+    rate = model.n_base_topics / (model.monitoring_interval_ns / NS_PER_SEC)
+    for op in pusher_ops:
+        if op.config.mode != "online" or not op.config.publish_outputs:
+            continue
+        n_out = len(op.output_topics())
+        if n_out:
+            period_s = (
+                op.config.interval_ns * op.config.unit_cadence / NS_PER_SEC
+            )
+            rate += n_out / period_s
+    model.publish_rate_hz = rate
+
+    if not model.worst_outage_ns:
+        return
+    outage_s = model.worst_outage_ns / NS_PER_SEC
+    demand = rate * outage_s
+    net_out = out.at("network")
+    if demand > model.spill_capacity:
+        lost = int(demand - model.spill_capacity)
+        net_out.at("spill", "capacity").error(
+            "F009",
+            f"worst outage ({_fmt_s(model.worst_outage_ns)}) x publish "
+            f"rate ({rate:.1f} readings/s) needs "
+            f"{int(demand)} spill slots per pusher but capacity is "
+            f"{model.spill_capacity}: ~{lost} readings will be lost",
+        )
+    for op in pusher_ops:
+        cfg = op.config
+        if cfg.breaker_threshold <= 0:
+            continue
+        max_backoff = cfg.breaker_max_cooldown * cfg.interval_ns
+        if max_backoff < model.worst_outage_ns:
+            out.at(
+                "analytics", "pushers", op.block_index,
+                "operators", op.name, "breaker_max_cooldown",
+            ).warning(
+                "F010",
+                f"operator {op.label!r}: breaker backoff tops out at "
+                f"{_fmt_s(max_backoff)} "
+                f"(breaker_max_cooldown x interval), shorter than the "
+                f"worst {_fmt_s(model.worst_outage_ns)} outage; units "
+                f"will flap between probe and quarantine",
+            )
+    if model.ingest_queue_capacity is not None:
+        burst = model.n_pushers * min(demand, model.spill_capacity)
+        if burst > model.ingest_queue_capacity:
+            net_out.at("ingest", "queue_capacity").warning(
+                "F012",
+                f"post-outage replay burst of ~{int(burst)} readings "
+                f"({model.n_pushers} pushers x spilled backlog) exceeds "
+                f"the ingest queue capacity "
+                f"{model.ingest_queue_capacity}; replayed data will be "
+                f"dropped on arrival",
+            )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def build_flow_model(
+    spec: dict,
+    collector: Optional[DiagnosticCollector] = None,
+    memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+    trees=None,
+) -> FlowModel:
+    """Propagate dataflow facts through a deployment spec.
+
+    Diagnostics (F001-F012) are recorded into ``collector``; the
+    returned model carries the inferred per-operator plan consumed by
+    :func:`render_flow_report`.  Structurally broken specs yield an
+    empty model — the W rules own reporting those.
+    """
+    from repro.analysis.config import trees_from_deployment
+    from repro.core.pipeline import resolve_pipeline
+    from repro.deploy import cluster_spec_from_block
+    from repro.simulator.cluster import ClusterTopology
+
+    out = collector if collector is not None else DiagnosticCollector()
+    model = FlowModel(memory_budget_mb=memory_budget_mb)
+    if not isinstance(spec, dict):
+        return model
+    if trees is not None:
+        agent_tree, pusher_tree = trees
+    else:
+        try:
+            agent_tree, pusher_tree = trees_from_deployment(spec)
+        except Exception:
+            return model  # reported as W016 by the structural analyzer
+
+    monitoring = spec.get("monitoring", {})
+    if not isinstance(monitoring, dict):
+        monitoring = {}
+    interval_ms = monitoring.get("interval_ms", 1000)
+    if isinstance(interval_ms, (int, float)) and not isinstance(
+        interval_ms, bool
+    ) and interval_ms > 0:
+        model.monitoring_interval_ns = int(interval_ms * NS_PER_MS)
+    cache_window_s = monitoring.get("cache_window_s", 180)
+    if isinstance(cache_window_s, (int, float)) and not isinstance(
+        cache_window_s, bool
+    ) and cache_window_s > 0:
+        model.cache_window_ns = int(cache_window_s * NS_PER_SEC)
+
+    try:
+        topology = ClusterTopology(
+            cluster_spec_from_block(spec.get("cluster", {}))
+        )
+        node_paths = list(topology.node_paths)
+    except Exception:
+        node_paths = []
+    model.n_pushers = len(node_paths)
+    model.n_base_topics = pusher_tree.n_sensors
+
+    facts = model.facts
+    facts.update(_base_facts(spec, agent_tree, model))
+
+    analytics = spec.get("analytics", {})
+    if not isinstance(analytics, dict):
+        analytics = {}
+
+    def blocks_of(context: str) -> list:
+        blocks = analytics.get(context, [])
+        return blocks if isinstance(blocks, list) else []
+
+    # Pusher pipelines resolve against one representative node.
+    pusher_rp = resolve_pipeline(blocks_of("pushers"), pusher_tree, "pushers")
+    for op in pusher_rp.operators:
+        _propagate_operator(
+            op, "pushers", facts, model,
+            out.at("analytics", "pushers", op.block_index, "operators",
+                   op.name),
+        )
+
+    # Their published outputs exist on every node of the agent's view.
+    agent_base = agent_tree
+    if node_paths and pusher_rp.operators:
+        _replicate_pusher_outputs(
+            facts, agent_base, node_paths[0], node_paths
+        )
+
+    agent_rp = resolve_pipeline(blocks_of("agent"), agent_base, "agent")
+    for op in agent_rp.operators:
+        _propagate_operator(
+            op, "agent", facts, model,
+            out.at("analytics", "agent", op.block_index, "operators",
+                   op.name),
+        )
+
+    # Budgets: per-host cache footprints, then resilience.
+    model.host_memory["collect agent"] = _estimate_memory(
+        agent_rp.tree.all_sensor_topics(), facts, model
+    )
+    if model.n_pushers:
+        model.host_memory["pusher (per node)"] = _estimate_memory(
+            pusher_rp.tree.all_sensor_topics(), facts, model
+        )
+    _check_memory(model, out)
+    _check_resilience(spec, pusher_rp.operators, model, out)
+    return model
+
+
+def analyze_flow(
+    spec: dict,
+    collector: Optional[DiagnosticCollector] = None,
+    memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+    trees=None,
+) -> List[Diagnostic]:
+    """Run the dataflow pass over a deployment spec (F001-F012)."""
+    out = collector if collector is not None else DiagnosticCollector()
+    start = len(out.sink)
+    build_flow_model(
+        spec, out, memory_budget_mb=memory_budget_mb, trees=trees
+    )
+    return out.sink[start:]
+
+
+def render_flow_report(model: FlowModel) -> str:
+    """Human-readable per-pipeline rate/unit/memory plan."""
+    lines: List[str] = []
+    lines.append(
+        f"flow plan: {len(model.facts)} sensor topics, "
+        f"{len(model.operators)} operator(s), {model.n_pushers} pusher(s)"
+    )
+    lines.append(
+        f"monitoring: interval {_fmt_s(model.monitoring_interval_ns)}, "
+        f"cache retention {_fmt_s(model.cache_window_ns)}, "
+        f"{model.n_base_topics} sensors/node"
+    )
+    for view in model.operators:
+        units = ", ".join(
+            f"{name} [{unit or '?'}]"
+            for name, unit in sorted(view.output_units.items())
+        ) or "-"
+        schedule = (
+            f"every {_fmt_s(view.effective_period_ns)}"
+            if view.mode == "online" else "ondemand"
+        )
+        window = (
+            f", window {_fmt_s(view.window_ns)}" if view.window_ns else ""
+        )
+        kind = " (job plugin)" if view.is_job_plugin else ""
+        lines.append(
+            f"  [{view.context}] {view.label}{kind}: {view.n_units} "
+            f"unit(s), {schedule}{window} -> {units}"
+        )
+    for host, nbytes in sorted(model.host_memory.items()):
+        lines.append(
+            f"memory: {host} ~{_fmt_mb(nbytes)} "
+            f"(budget {model.memory_budget_mb:g} MiB)"
+        )
+    if model.worst_outage_ns:
+        lines.append(
+            f"resilience: worst outage {_fmt_s(model.worst_outage_ns)}, "
+            f"publish rate {model.publish_rate_hz:.1f} readings/s per "
+            f"pusher, spill capacity {model.spill_capacity}, ingest "
+            f"queue "
+            + (
+                str(model.ingest_queue_capacity)
+                if model.ingest_queue_capacity is not None else "unbounded"
+            )
+        )
+    else:
+        lines.append(
+            f"resilience: no outages scheduled, publish rate "
+            f"{model.publish_rate_hz:.1f} readings/s per pusher"
+        )
+    return "\n".join(lines)
+
+
+def flow_report(
+    spec: dict, memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB
+) -> str:
+    """Build and render the flow plan of one deployment spec."""
+    return render_flow_report(
+        build_flow_model(spec, memory_budget_mb=memory_budget_mb)
+    )

@@ -27,10 +27,15 @@ declarative deployment file (see :mod:`repro.deploy`):
     ``--report`` for a Fig 5-style overhead summary).  ``--host``
     selects a pusher by node path; the default is the Collect Agent.
 
-``python -m repro.cli check [--config FILE]... [--lint] [--runtime FILE]...``
+``python -m repro.cli check [--config FILE]... [--lint] [--flow FILE]...
+[--runtime FILE]...``
     Analyze configuration files (deployment specs, plugin blocks — JSON
     or Python scripts containing them), run the repo-specific AST lint
-    pass, and/or execute a **bounded sanitized run** of a deployment
+    pass, run the **whole-deployment dataflow analyzer** over a
+    deployment spec (``--flow``: production rates, window-vs-cache
+    supply, physical units, memory and resilience budgets — F-series
+    rules; ``--flow-report`` prints the inferred per-pipeline plan),
+    and/or execute a **bounded sanitized run** of a deployment
     spec (``--runtime``) hunting lock-order inversions, unit-state
     races and invariant violations (R-series rules).  ``--fail-on``
     picks the severity that makes the exit code non-zero; ``--format
@@ -234,8 +239,9 @@ def cmd_metrics(args) -> int:
 
 #: Version of the ``check --format json`` document layout.  The
 #: original unversioned output counts as version 1; version 2 added
-#: this field itself plus runtime (R-series) diagnostics.
-CHECK_SCHEMA_VERSION = 2
+#: this field itself plus runtime (R-series) diagnostics; version 3
+#: added dataflow (F-series) diagnostics and the ``flow_report`` field.
+CHECK_SCHEMA_VERSION = 3
 
 #: Severities that fail the check, per ``--fail-on`` threshold.
 _FAIL_LEVELS = {
@@ -261,9 +267,9 @@ def cmd_check(args) -> int:
         sort_key,
     )
 
-    if not args.config and not args.lint and not args.runtime:
-        print("check: nothing to do (pass --config FILE, --lint and/or "
-              "--runtime FILE)", file=sys.stderr)
+    if not args.config and not args.lint and not args.runtime and not args.flow:
+        print("check: nothing to do (pass --config FILE, --lint, --flow "
+              "FILE and/or --runtime FILE)", file=sys.stderr)
         return 2
     diags = []
     for path in args.config or []:
@@ -297,6 +303,28 @@ def cmd_check(args) -> int:
             os.path.dirname(os.path.abspath(repro.__file__))
         ]
         diags.extend(lint_paths(targets))
+    flow_reports = {}
+    for path in args.flow or []:
+        from repro.analysis import DiagnosticCollector
+        from repro.analysis.flow import build_flow_model, render_flow_report
+
+        try:
+            spec = _load(path)
+        except (OSError, ValueError) as exc:
+            diags.append(Diagnostic(
+                code="W005", severity="error",
+                message=f"cannot load deployment spec: {exc}", file=path,
+            ))
+            continue
+        flow_out = DiagnosticCollector()
+        model = build_flow_model(
+            spec, flow_out, memory_budget_mb=args.flow_memory_budget_mb
+        )
+        diags.extend(
+            replace(d, file=d.file or path) for d in flow_out.sink
+        )
+        if args.flow_report:
+            flow_reports[path] = render_flow_report(model)
     runtime_events = {}
     for path in args.runtime or []:
         from repro.sanitizer import run_runtime_check
@@ -323,12 +351,18 @@ def cmd_check(args) -> int:
         }
         if runtime_events:
             doc["runtime"] = runtime_events
+        if flow_reports:
+            doc["flow_report"] = flow_reports
         print(json.dumps(doc, indent=2))
         return exit_code
     for diag in diags:
         if diag.severity == "info" and args.quiet:
             continue
         print(diag.format())
+    for path, report in flow_reports.items():
+        print(f"flow {path}:")
+        for line in report.splitlines():
+            print(f"  {line}")
     for path, events in runtime_events.items():
         print(f"runtime {path}: {events.get('compute_passes', 0)} passes, "
               f"{events.get('lock_acquisitions', 0)} lock acquisitions, "
@@ -439,11 +473,25 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--lint", action="store_true",
-        help="run the repo-specific AST lint rules (L001..L006)",
+        help="run the repo-specific AST lint rules (L001..L008)",
     )
     p_check.add_argument(
         "--lint-path", action="append", default=[], metavar="PATH",
         help="file or directory to lint (default: the repro package)",
+    )
+    p_check.add_argument(
+        "--flow", action="append", default=[], metavar="FILE",
+        help="deployment spec (.json) to run the dataflow analyzer on "
+             "(rates/windows/units/budgets; F-series rules); repeatable",
+    )
+    p_check.add_argument(
+        "--flow-report", action="store_true",
+        help="with --flow: also print the inferred per-pipeline "
+             "rate/unit/memory plan",
+    )
+    p_check.add_argument(
+        "--flow-memory-budget-mb", type=float, default=1024.0,
+        help="per-host cache memory budget for F008 (default 1024 MiB)",
     )
     p_check.add_argument(
         "--runtime", action="append", default=[], metavar="FILE",

@@ -167,6 +167,32 @@ class OperatorBase:
     #: Whether the plugin ships a vectorized :meth:`compute_batch`.
     supports_batch = False
 
+    @classmethod
+    def flow_transforms(cls, params: dict) -> Dict[str, object]:
+        """Declarative output-unit metadata for the static dataflow
+        analyzer (``wintermute-sim check --flow``).
+
+        Returns a mapping from output-sensor-name glob (``fnmatch``
+        style, ``"*"`` for all) to a *transform* describing how the
+        output's physical unit derives from the unit inputs:
+
+        - ``"preserve"`` — same unit as the (pooled) inputs; pooling
+          inputs of different physical dimensions is a configuration
+          error the analyzer reports (rule F006).
+        - ``"per-second"`` — input unit divided by time (``delta``/
+          ``rate`` style computations: J becomes W, B becomes B/s).
+        - ``"dimensionless"`` — ratios, labels, booleans, counts.
+        - ``("input", <sensor-name>)`` — the unit of the named input
+          sensor (e.g. a regression target), with no pooling check.
+
+        The default declares nothing: third-party plugins degrade to
+        "unknown" output units gracefully (the analyzer reports rule
+        F007 as info and skips downstream unit checks).  Implementations
+        must stay pure — they are consulted with the raw ``params``
+        block, before (and without) operator instantiation.
+        """
+        return {}
+
     def __init__(self, config: OperatorConfig) -> None:
         self.config = config
         self.units: List[Unit] = []

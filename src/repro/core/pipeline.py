@@ -16,12 +16,14 @@ remain the user's responsibility, exactly as in the real system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, UnitResolutionError
 from repro.core.manager import OperatorManager
-from repro.core.operator import OperatorBase
+from repro.core.operator import JobOperatorBase, OperatorBase, OperatorConfig
+from repro.core.tree import SensorTree
+from repro.core.units import Unit, UnitResolver
 
 
 @dataclass
@@ -76,3 +78,145 @@ class Pipeline:
         for ops in self._operators.values():
             for op in ops:
                 op.start()
+
+
+# ----------------------------------------------------------------------
+# Resolved-model export (static consumers)
+# ----------------------------------------------------------------------
+#
+# The dataflow analyzer (repro.analysis.flow) needs the *resolved*
+# deployment — parsed operator configs plus the concrete units their
+# patterns expand to against a host's sensor tree — without building a
+# single runtime component.  Unit resolution is a pure function of the
+# tree (repro.core.units), so this export reuses exactly the machinery
+# Pipeline.deploy runs, minus operators, managers and scheduling.
+
+
+@dataclass
+class ResolvedOperator:
+    """One operator's statically resolved view.
+
+    ``units`` is empty when the operator is a job plugin (units are
+    created per running job) or when resolution failed;
+    ``resolution_error`` carries the reason in the latter case.
+    """
+
+    block_index: int
+    plugin: str
+    name: str
+    config: OperatorConfig
+    units: List[Unit] = field(default_factory=list)
+    is_job_plugin: bool = False
+    resolution_error: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"{self.plugin}/{self.name}"
+
+    def output_topics(self) -> List[str]:
+        """Every concrete output topic across the resolved units."""
+        return [s.topic for u in self.units for s in u.outputs]
+
+
+@dataclass
+class ResolvedPipeline:
+    """An ordered list of plugin blocks resolved against one host tree.
+
+    ``tree`` is a private copy of the input tree with every stage's
+    output sensors materialized, exactly as :meth:`Pipeline.deploy`
+    refreshes the host's sensor space between stages.
+    """
+
+    host: str
+    tree: SensorTree
+    operators: List[ResolvedOperator] = field(default_factory=list)
+
+
+def resolve_pipeline(
+    blocks: Sequence[dict],
+    tree: SensorTree,
+    host: str = "",
+) -> ResolvedPipeline:
+    """Resolve plugin blocks against a sensor tree without instantiation.
+
+    Blocks are processed in deployment order; each stage's resolved
+    output sensors are added to the (copied) tree before the next stage
+    resolves, mirroring staged pipeline deployment.  Malformed blocks or
+    operators are skipped silently — the structural analyzer
+    (:mod:`repro.analysis.config`) owns reporting those.
+    """
+    from repro.core.configurator import parse_operator_config
+    from repro.core.registry import get_plugin_class
+
+    work = SensorTree.from_topics(tree.all_sensor_topics())
+    resolved = ResolvedPipeline(host=host, tree=work)
+    for i, block in enumerate(blocks):
+        if not isinstance(block, dict):
+            continue
+        plugin = block.get("plugin")
+        operators = block.get("operators")
+        if not isinstance(plugin, str) or not isinstance(operators, dict):
+            continue
+        cls = get_plugin_class(plugin)
+        is_job = isinstance(cls, type) and issubclass(cls, JobOperatorBase)
+        for name, op_block in operators.items():
+            if not isinstance(op_block, dict):
+                continue
+            try:
+                config = parse_operator_config(name, op_block)
+            except ConfigError:
+                continue  # structurally invalid; reported by the analyzer
+            entry = ResolvedOperator(
+                block_index=i, plugin=plugin, name=name, config=config,
+                is_job_plugin=is_job,
+            )
+            if not is_job and config.outputs:
+                entry.units, entry.resolution_error = _resolve_units(
+                    work, config
+                )
+                for unit in entry.units:
+                    for sensor in unit.outputs:
+                        _add_topic(work, sensor.topic)
+            resolved.operators.append(entry)
+    return resolved
+
+
+def _resolve_units(tree: SensorTree, config: OperatorConfig):
+    """(units, error) of one pattern-unit config; never raises."""
+    try:
+        resolver = UnitResolver(
+            config.inputs, config.outputs, relaxed=True,
+            publish_outputs=config.publish_outputs,
+        )
+        return resolver.resolve(tree), ""
+    except (ConfigError, UnitResolutionError) as exc:
+        return [], str(exc)
+
+
+def _add_topic(tree: SensorTree, topic: str) -> None:
+    from repro.common.errors import TopicError
+
+    try:
+        tree.add_sensor(topic)
+    except TopicError:
+        pass  # collides with a component node; resolution rules apply
+
+
+def replicate_topics(
+    topics: Sequence[str], source_root: str, target_roots: Sequence[str]
+) -> List[str]:
+    """Map topics under one component root onto sibling roots.
+
+    A pusher pipeline is resolved against one representative node's
+    tree; its published outputs exist on *every* node.  This helper
+    rewrites ``/rack00/.../node00/avg-power`` to each node path so the
+    agent-side model sees the whole fleet's derived sensors.
+    """
+    source = source_root.rstrip("/")
+    out: List[str] = []
+    for topic in topics:
+        if not topic.startswith(source + "/"):
+            continue
+        suffix = topic[len(source):]
+        out.extend(f"{root.rstrip('/')}{suffix}" for root in target_roots)
+    return out

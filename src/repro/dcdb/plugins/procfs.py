@@ -21,6 +21,9 @@ _SENSORS: Tuple[Tuple[str, str, bool], ...] = (
 #: Sensor names this plugin attaches to each node (static-analysis view).
 SENSOR_NAMES: Tuple[str, ...] = tuple(name for name, _, _ in _SENSORS)
 
+#: name -> physical unit, for the static dataflow analyzer.
+SENSOR_UNITS = {name: unit for name, unit, _ in _SENSORS}
+
 
 class ProcfsPlugin(MonitoringPlugin):
     """OS-statistics sampling for one compute node."""

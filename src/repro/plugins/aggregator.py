@@ -76,6 +76,26 @@ _SIMPLE_OPS_AXIS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
 class AggregatorOperator(OperatorBase):
     """Window aggregates over each unit's pooled input readings."""
 
+    @classmethod
+    def flow_transforms(cls, params: dict) -> Dict[str, object]:
+        # Derived from the configured aggregates: counts are pure
+        # numbers, rates divide by time, everything else (mean, min,
+        # delta, quantiles, ...) carries its inputs' unit through.
+        ops = dict(params.get("ops", {})) if isinstance(params, dict) else {}
+        if isinstance(params, dict) and params.get("op") is not None:
+            ops.setdefault("*", params["op"])
+        transforms: Dict[str, object] = {}
+        for name, op in ops.items():
+            if not isinstance(name, str) or not isinstance(op, str):
+                continue
+            if op == "count":
+                transforms[name] = "dimensionless"
+            elif op == "rate":
+                transforms[name] = "per-second"
+            else:
+                transforms[name] = "preserve"
+        return transforms
+
     def __init__(self, config: OperatorConfig) -> None:
         super().__init__(config)
         ops = dict(config.params.get("ops", {}))

@@ -78,6 +78,11 @@ class OnlineClassificationModel:
 class ClassifierOperator(OperatorBase):
     """Window-features random-forest classification."""
 
+    @classmethod
+    def flow_transforms(cls, params: dict) -> Dict[str, object]:
+        # Class labels and confidences are pure numbers.
+        return {"*": "dimensionless"}
+
     def __init__(self, config: OperatorConfig) -> None:
         super().__init__(config)
         params = config.params

@@ -47,6 +47,11 @@ _TRANSFORMS = ("mean", "delta", "rate")
 class ClusteringOperator(OperatorBase):
     """Bayesian-GMM clustering of per-unit feature averages."""
 
+    @classmethod
+    def flow_transforms(cls, params: dict) -> Dict[str, object]:
+        # Cluster ids and outlier scores are pure numbers.
+        return {"*": "dimensionless"}
+
     def __init__(self, config: OperatorConfig) -> None:
         super().__init__(config)
         params = config.params

@@ -45,6 +45,11 @@ class CorrelationOperator(OperatorBase):
             window before a signature is emitted (default 8).
     """
 
+    @classmethod
+    def flow_transforms(cls, params: dict) -> Dict[str, object]:
+        # Correlation coefficients are pure numbers.
+        return {"*": "dimensionless"}
+
     def __init__(self, config: OperatorConfig) -> None:
         super().__init__(config)
         if config.window_ns <= 0:

@@ -65,6 +65,11 @@ class _UnitSink:
 class FileSinkOperator(OperatorBase):
     """Streams each unit's input sensors into a CSV file."""
 
+    @classmethod
+    def flow_transforms(cls, params: dict) -> Dict[str, object]:
+        # Row counters, not physical quantities.
+        return {"*": "dimensionless"}
+
     def __init__(self, config: OperatorConfig) -> None:
         super().__init__(config)
         directory = config.params.get("directory")

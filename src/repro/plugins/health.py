@@ -33,6 +33,11 @@ from repro.core.units import Unit
 class HealthOperator(OperatorBase):
     """Threshold health checks with hysteresis."""
 
+    @classmethod
+    def flow_transforms(cls, params: dict) -> Dict[str, object]:
+        # Health flags and trip counts are pure numbers.
+        return {"*": "dimensionless"}
+
     def __init__(self, config: OperatorConfig) -> None:
         super().__init__(config)
         bounds = config.params.get("bounds")

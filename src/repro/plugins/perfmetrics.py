@@ -46,6 +46,15 @@ _METRICS = {
 class PerfMetricsOperator(OperatorBase):
     """Derives performance metrics from raw counter deltas."""
 
+    @classmethod
+    def flow_transforms(cls, params: dict) -> Dict[str, object]:
+        # Counter ratios are dimensionless; *-rate metrics are
+        # counts per second.
+        transforms: Dict[str, object] = {}
+        for name, (_num, den) in _METRICS.items():
+            transforms[name] = "dimensionless" if den else "per-second"
+        return transforms
+
     def __init__(self, config: OperatorConfig) -> None:
         super().__init__(config)
         if config.window_ns <= 0:

@@ -47,6 +47,11 @@ def quantile_output_name(q: float) -> str:
 class PerSystOperator(JobOperatorBase):
     """Per-job quantile aggregation of a derived metric."""
 
+    @classmethod
+    def flow_transforms(cls, params: dict) -> Dict[str, object]:
+        # Quantiles of the monitored metric preserve its unit.
+        return {"*": "preserve"}
+
     def __init__(self, config: OperatorConfig, job_source=None) -> None:
         super().__init__(config, job_source=job_source)
         qs = config.params.get("quantiles", _DEFAULT_QUANTILES)

@@ -108,6 +108,16 @@ class OnlineRegressionModel:
 class RegressorOperator(OperatorBase):
     """Window-features random-forest regression with online training."""
 
+    @classmethod
+    def flow_transforms(cls, params: dict) -> Dict[str, object]:
+        # Error outputs are relative (dimensionless); predictions carry
+        # the unit of the regression target sensor.
+        target = params.get("target") if isinstance(params, dict) else None
+        transforms: Dict[str, object] = {"*error*": "dimensionless"}
+        if isinstance(target, str) and target:
+            transforms["*"] = ("input", target)
+        return transforms
+
     def __init__(self, config: OperatorConfig) -> None:
         super().__init__(config)
         params = config.params

@@ -27,6 +27,11 @@ from repro.core.units import Unit
 class SmootherOperator(OperatorBase):
     """Window-mean or EWMA smoothing of a sensor stream."""
 
+    @classmethod
+    def flow_transforms(cls, params: dict) -> Dict[str, object]:
+        # Smoothing is a weighted mean: units pass straight through.
+        return {"*": "preserve"}
+
     def __init__(self, config: OperatorConfig) -> None:
         super().__init__(config)
         alpha = config.params.get("alpha")

@@ -48,6 +48,11 @@ MISBEHAVE_MODES = ("shared_model", "self_state", "wall_clock", "mutate_view")
 class TesterOperator(OperatorBase):
     """Issues synthetic Query Engine load and counts retrieved readings."""
 
+    @classmethod
+    def flow_transforms(cls, params: dict) -> Dict[str, object]:
+        # Reading counts are pure numbers.
+        return {"*": "dimensionless"}
+
     __test__ = False  # not a pytest test class despite the name
 
     def __init__(self, config: OperatorConfig) -> None:

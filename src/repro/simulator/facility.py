@@ -131,6 +131,14 @@ class CoolingSystem:
 #: (static-analysis view).
 FACILITY_SENSOR_NAMES = ("inlet-temp", "setpoint", "chiller-power", "it-power")
 
+#: name -> physical unit, for the static dataflow analyzer.
+FACILITY_SENSOR_UNITS = {
+    "inlet-temp": "C",
+    "setpoint": "C",
+    "chiller-power": "W",
+    "it-power": "W",
+}
+
 
 class FacilityPlugin(MonitoringPlugin):
     """Monitoring plugin exposing the cooling loop as sensors.

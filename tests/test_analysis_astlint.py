@@ -389,6 +389,74 @@ class TestScalarQueryInLoop:
         assert diags == []
 
 
+class TestMutableClassDefault:
+    def test_list_default_flagged(self):
+        diags = lint("""
+        class XOperator(OperatorBase):
+            history = []
+
+            def compute_unit(self, unit, ts):
+                return {}
+        """)
+        assert codes(diags) == ["L008"]
+        assert "history" in diags[0].message
+
+    def test_dict_and_constructor_flagged(self):
+        diags = lint("""
+        class XOperator(OperatorBase):
+            cache = {}
+            seen = set()
+            by_unit = dict()
+        """)
+        assert codes(diags) == ["L008", "L008", "L008"]
+
+    def test_annotated_default_flagged(self):
+        diags = lint("""
+        class XOperator(OperatorBase):
+            rows: list = []
+        """)
+        assert codes(diags) == ["L008"]
+
+    def test_constant_convention_exempt(self):
+        diags = lint("""
+        class XOperator(OperatorBase):
+            _METRICS = {"cpi": ("cpu-cycles", "instructions")}
+            DEFAULT_OPS = ["mean", "max"]
+        """)
+        assert diags == []
+
+    def test_immutable_defaults_not_flagged(self):
+        diags = lint("""
+        class XOperator(OperatorBase):
+            window = 10
+            name = "x"
+            pair = (1, 2)
+        """)
+        assert diags == []
+
+    def test_non_plugin_class_not_flagged(self):
+        diags = lint("""
+        class Registry:
+            entries = []
+        """)
+        assert diags == []
+
+    def test_init_assignment_not_flagged(self):
+        diags = lint("""
+        class XOperator(OperatorBase):
+            def __init__(self):
+                self.history = []
+        """)
+        assert diags == []
+
+    def test_suppression(self):
+        diags = lint("""
+        class XOperator(OperatorBase):
+            shared = []  # lint: allow(L008)
+        """)
+        assert diags == []
+
+
 class TestSuppressionAndEntryPoints:
     def test_allow_comment_suppresses(self):
         diags = lint("""

@@ -77,6 +77,52 @@ def test_static_analyzer_accepts_config_blocks(path):
     assert not errors, errors
 
 
+ALL_JSON_SPECS = sorted(EXAMPLES_DIR.glob("*.json"))
+
+
+def test_json_specs_exist():
+    assert {p.name for p in ALL_JSON_SPECS} >= {
+        "quickstart_deployment.json",
+        "parallel_analytics.json",
+    }
+
+
+@pytest.mark.parametrize("path", ALL_JSON_SPECS, ids=lambda p: p.name)
+def test_flow_analyzer_accepts_json_spec(path):
+    """Every shipped JSON deployment spec must be F-error-free under the
+    dataflow analyzer (``wintermute-sim check --flow``)."""
+    import json
+
+    from repro.analysis.flow import analyze_flow
+
+    spec = json.loads(path.read_text())
+    diags = analyze_flow(spec)
+    errors = [d.format() for d in diags if d.severity == "error"]
+    assert not errors, errors
+
+
+@pytest.mark.parametrize(
+    "path", ALL_CONFIG_SOURCES, ids=lambda p: f"{p.parent.name}/{p.name}"
+)
+def test_flow_analyzer_accepts_config_deployments(path):
+    """Deployment specs embedded in examples/ and benchmarks/ must also
+    pass the dataflow pass (analyze_deployment with flow=True)."""
+    from repro.analysis import analyze_deployment, extract_configs
+
+    result = extract_configs(str(path))
+    for cfg in result.configs:
+        if cfg.kind in ("block", "blocks"):
+            continue
+        diags = analyze_deployment(
+            cfg.value, known_plugins=result.local_plugins, flow=True
+        )
+        errors = [
+            d.format() for d in diags
+            if d.severity == "error" and d.code.startswith("F")
+        ]
+        assert not errors, errors
+
+
 @pytest.mark.parametrize("name", FAST_EXAMPLES)
 def test_fast_example_runs(name):
     result = subprocess.run(
