@@ -21,6 +21,12 @@ Three halves (surfaced through ``wintermute-sim check``):
   enforcing invariants generic linters cannot express: lock discipline,
   simulation-clock purity, no silent broad excepts, and no writes to
   shared unit state inside operator ``compute`` paths.
+- :mod:`repro.analysis.concurrency` — a **static concurrency analyzer**
+  (S rules): interprocedural lockset computation and guarded-by
+  inference over the source tree, proving lock discipline on all paths
+  (the runtime sanitizer's R rules only see observed executions) and
+  exporting a static lock-order graph cross-validated against the
+  runtime lockdep graph.
 
 Both report :class:`~repro.analysis.diagnostics.Diagnostic` records with
 stable rule codes; the catalog lives in ``docs/STATIC_ANALYSIS.md``.
@@ -60,8 +66,14 @@ __all__ = [
     "flow_report",
     "render_flow_report",
     "lint_paths",
+    "lint_paths_counted",
     "lint_source",
+    "lint_source_counted",
     "extract_configs",
+    "analyze_concurrency",
+    "render_concurrency_report",
+    "static_lock_order_graph",
+    "InlineSuppressions",
 ]
 
 _LAZY = {
@@ -74,8 +86,14 @@ _LAZY = {
     "flow_report": "repro.analysis.flow",
     "render_flow_report": "repro.analysis.flow",
     "lint_paths": "repro.analysis.astlint",
+    "lint_paths_counted": "repro.analysis.astlint",
     "lint_source": "repro.analysis.astlint",
+    "lint_source_counted": "repro.analysis.astlint",
     "extract_configs": "repro.analysis.extract",
+    "analyze_concurrency": "repro.analysis.concurrency",
+    "render_concurrency_report": "repro.analysis.concurrency",
+    "static_lock_order_graph": "repro.analysis.concurrency",
+    "InlineSuppressions": "repro.analysis.suppress",
 }
 
 

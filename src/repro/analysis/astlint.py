@@ -47,9 +47,10 @@ from __future__ import annotations
 
 import ast
 import os
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.diagnostics import Diagnostic, sort_key
+from repro.analysis.suppress import InlineSuppressions
 
 #: Rule codes implemented by this module.
 LINT_CODES = ("L001", "L002", "L003", "L004", "L005", "L006", "L007",
@@ -105,9 +106,17 @@ def _is_with_self_lock(stmt: ast.stmt) -> bool:
 
 
 class _Suppressions:
-    """Per-line ``# lint: allow(CODE)`` markers."""
+    """Per-line suppression markers.
+
+    Two syntaxes are honoured: the legacy ``# lint: allow(CODE)`` and
+    the uniform ``# wintermute: ignore[CODE]`` shared with the flow and
+    concurrency passes.  ``matched`` counts suppressions that actually
+    fired, surfaced as the ``ignored`` total by ``check``.
+    """
 
     def __init__(self, source: str) -> None:
+        self._uniform = InlineSuppressions(source)
+        self.matched = 0
         self._by_line: dict = {}
         for i, line in enumerate(source.splitlines(), start=1):
             marker = line.find("# lint: allow(")
@@ -118,7 +127,13 @@ class _Suppressions:
             self._by_line[i] = {c.strip() for c in codes.split(",")}
 
     def active(self, line: int, code: str) -> bool:
-        return code in self._by_line.get(line, ())
+        if code in self._by_line.get(line, ()):
+            self.matched += 1
+            return True
+        if self._uniform.active(line, code):
+            self.matched += 1
+            return True
+        return False
 
 
 def _iter_methods(cls: ast.ClassDef) -> Iterable[ast.FunctionDef]:
@@ -603,6 +618,14 @@ _RULES = (
 
 def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
     """Lint one Python source string; returns sorted diagnostics."""
+    diags, _ignored = lint_source_counted(source, path)
+    return diags
+
+
+def lint_source_counted(
+    source: str, path: str = "<string>"
+) -> Tuple[List[Diagnostic], int]:
+    """Like :func:`lint_source`, also counting fired suppressions."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -612,16 +635,24 @@ def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
             message=f"syntax error: {exc.msg}",
             file=path,
             line=exc.lineno or 0,
-        )]
+        )], 0
     sup = _Suppressions(source)
     out: List[Diagnostic] = []
     for rule in _RULES:
         rule(tree, path, out, sup)
-    return sorted(out, key=sort_key)
+    return sorted(out, key=sort_key), sup.matched
 
 
 def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
     """Lint files and directories (recursing into ``*.py``)."""
+    diags, _ignored = lint_paths_counted(paths)
+    return diags
+
+
+def lint_paths_counted(
+    paths: Sequence[str],
+) -> Tuple[List[Diagnostic], int]:
+    """Like :func:`lint_paths`, also counting fired suppressions."""
     files: List[str] = []
     for path in paths:
         if os.path.isdir(path):
@@ -637,7 +668,10 @@ def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
         else:
             files.append(path)
     out: List[Diagnostic] = []
+    ignored = 0
     for file in files:
         with open(file, "r", encoding="utf-8") as fh:
-            out.extend(lint_source(fh.read(), path=file))
-    return sorted(out, key=sort_key)
+            diags, n = lint_source_counted(fh.read(), path=file)
+        out.extend(diags)
+        ignored += n
+    return sorted(out, key=sort_key), ignored

@@ -46,7 +46,10 @@ from repro.core.tree import SensorTree
 DEFAULT_MAX_UNITS = 10_000
 
 _DEPLOYMENT_SECTIONS = frozenset(
-    {"cluster", "monitoring", "jobs", "facility", "analytics", "network"}
+    {"cluster", "monitoring", "jobs", "facility", "analytics", "network",
+     # "ignore" suppresses flow (F) diagnostics by code — the JSON
+     # counterpart of the inline "# wintermute: ignore[...]" marker.
+     "ignore"}
 )
 _CLUSTER_KEYS = frozenset(
     {"nodes", "cpus", "seed", "anomalies", "racks", "chassis_per_rack",

@@ -240,8 +240,10 @@ def cmd_metrics(args) -> int:
 #: Version of the ``check --format json`` document layout.  The
 #: original unversioned output counts as version 1; version 2 added
 #: this field itself plus runtime (R-series) diagnostics; version 3
-#: added dataflow (F-series) diagnostics and the ``flow_report`` field.
-CHECK_SCHEMA_VERSION = 3
+#: added dataflow (F-series) diagnostics and the ``flow_report`` field;
+#: version 4 added concurrency (S-series) diagnostics, the
+#: ``concurrency_report`` field and the ``ignored`` suppression count.
+CHECK_SCHEMA_VERSION = 4
 
 #: Severities that fail the check, per ``--fail-on`` threshold.
 _FAIL_LEVELS = {
@@ -263,15 +265,18 @@ def cmd_check(args) -> int:
         analyze_pipeline_blocks,
         count_by_severity,
         extract_configs,
-        lint_paths,
+        lint_paths_counted,
         sort_key,
     )
 
-    if not args.config and not args.lint and not args.runtime and not args.flow:
-        print("check: nothing to do (pass --config FILE, --lint, --flow "
-              "FILE and/or --runtime FILE)", file=sys.stderr)
+    if not args.config and not args.lint and not args.runtime \
+            and not args.flow and args.concurrency is None:
+        print("check: nothing to do (pass --config FILE, --lint, "
+              "--concurrency, --flow FILE and/or --runtime FILE)",
+              file=sys.stderr)
         return 2
     diags = []
+    ignored = 0
     for path in args.config or []:
         result = extract_configs(path)
         for line, reason in result.skipped:
@@ -302,7 +307,24 @@ def cmd_check(args) -> int:
         targets = args.lint_path or [
             os.path.dirname(os.path.abspath(repro.__file__))
         ]
-        diags.extend(lint_paths(targets))
+        lint_diags, lint_ignored = lint_paths_counted(targets)
+        diags.extend(lint_diags)
+        ignored += lint_ignored
+    concurrency_report = None
+    if args.concurrency is not None:
+        from repro.analysis.concurrency import (
+            analyze_concurrency,
+            render_concurrency_report,
+        )
+
+        targets = args.concurrency or [
+            os.path.dirname(os.path.abspath(repro.__file__))
+        ]
+        conc = analyze_concurrency(targets)
+        diags.extend(conc.diagnostics)
+        ignored += conc.ignored
+        if args.concurrency_report:
+            concurrency_report = render_concurrency_report(conc)
     flow_reports = {}
     for path in args.flow or []:
         from repro.analysis import DiagnosticCollector
@@ -320,9 +342,16 @@ def cmd_check(args) -> int:
         model = build_flow_model(
             spec, flow_out, memory_budget_mb=args.flow_memory_budget_mb
         )
-        diags.extend(
-            replace(d, file=d.file or path) for d in flow_out.sink
-        )
+        # A spec-level "ignore" list is the JSON counterpart of the
+        # inline "# wintermute: ignore[...]" marker (JSON: no comments).
+        ignore_codes = spec.get("ignore") if isinstance(spec, dict) else None
+        ignore_codes = set(ignore_codes) if isinstance(
+            ignore_codes, list) else set()
+        for d in flow_out.sink:
+            if d.code in ignore_codes:
+                ignored += 1
+                continue
+            diags.append(replace(d, file=d.file or path))
         if args.flow_report:
             flow_reports[path] = render_flow_report(model)
     runtime_events = {}
@@ -347,12 +376,15 @@ def cmd_check(args) -> int:
             "schema_version": CHECK_SCHEMA_VERSION,
             "diagnostics": [d.to_dict() for d in diags],
             "summary": counts,
+            "ignored": ignored,
             "exit_code": exit_code,
         }
         if runtime_events:
             doc["runtime"] = runtime_events
         if flow_reports:
             doc["flow_report"] = flow_reports
+        if concurrency_report is not None:
+            doc["concurrency_report"] = concurrency_report
         print(json.dumps(doc, indent=2))
         return exit_code
     for diag in diags:
@@ -363,12 +395,15 @@ def cmd_check(args) -> int:
         print(f"flow {path}:")
         for line in report.splitlines():
             print(f"  {line}")
+    if concurrency_report is not None:
+        for line in concurrency_report.splitlines():
+            print(line)
     for path, events in runtime_events.items():
         print(f"runtime {path}: {events.get('compute_passes', 0)} passes, "
               f"{events.get('lock_acquisitions', 0)} lock acquisitions, "
               f"{events.get('views_tracked', 0)} views tracked")
     print(f"check: {counts['error']} error(s), {counts['warning']} "
-          f"warning(s), {counts['info']} info")
+          f"warning(s), {counts['info']} info, {ignored} ignored")
     return exit_code
 
 
@@ -478,6 +513,17 @@ def make_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--lint-path", action="append", default=[], metavar="PATH",
         help="file or directory to lint (default: the repro package)",
+    )
+    p_check.add_argument(
+        "--concurrency", nargs="*", default=None, metavar="PATH",
+        help="run the static concurrency analyzer (interprocedural "
+             "locksets + guarded-by inference; S001..S010) over PATHs "
+             "(default: the repro package)",
+    )
+    p_check.add_argument(
+        "--concurrency-report", action="store_true",
+        help="with --concurrency: also print the inferred guarded-by "
+             "table per class and the static lock-order graph",
     )
     p_check.add_argument(
         "--flow", action="append", default=[], metavar="FILE",

@@ -449,7 +449,7 @@ class OperatorBase:
         automatic tripping disabled this is a no-op returning ``units``
         unchanged.
         """
-        if not self._breakers:
+        if not self._breakers:  # unguarded: emptiness fast-path; a stale read only delays quarantine by one pass
             return units
         allowed = []
         with self._breaker_lock:
@@ -461,7 +461,7 @@ class OperatorBase:
 
     def _record_unit_successes(self, results: List[UnitResult]) -> None:
         """Close/clear breakers of units that produced results."""
-        if not self._breakers:
+        if not self._breakers:  # unguarded: emptiness fast-path; a missed close is retried next pass
             return
         with self._breaker_lock:
             for unit, _values in results:
@@ -515,7 +515,7 @@ class OperatorBase:
     def _require_unit(self, unit_name: str) -> None:
         if any(u.name == unit_name for u in self.units):
             return
-        if unit_name in self._breakers:
+        if unit_name in self._breakers:  # unguarded: racy probe; REST readers tolerate staleness
             return  # job units may have rotated out; state still readable
         raise PluginError(
             f"operator {self.name!r} has no unit {unit_name!r}"
@@ -593,10 +593,7 @@ class OperatorBase:
         try:
             return self.compute_batch(due_units, ts)
         except (QueryError, PluginError, ValueError, KeyError) as exc:
-            self._m_errors.inc()
-            self.last_errors = (
-                self.last_errors + [f"<batch>: {exc}"]
-            )[-16:]
+            self._note_error("<batch>", exc)
             results = []
             for unit in due_units:
                 result = self._compute_one(unit, ts)
@@ -662,6 +659,17 @@ class OperatorBase:
             return None
         return UnitResult(unit, values)
 
+    def _note_error(self, label: str, exc: Exception) -> None:
+        """Count one error into the bounded log.
+
+        ``last_errors`` is rebound, not mutated in place (readers keep
+        a stable snapshot), so concurrent notes from pool workers would
+        lose entries without the lock.
+        """
+        self._m_errors.inc()
+        with self._breaker_lock:
+            self.last_errors = (self.last_errors + [f"{label}: {exc}"])[-16:]
+
     def _record_unit_error(self, unit: Unit, exc: Exception) -> None:
         """Count one failed unit without aborting the pass.
 
@@ -669,9 +677,8 @@ class OperatorBase:
         errored on (e.g. all input sensors missing), keeping the two
         paths' error accounting identical.
         """
-        self._m_errors.inc()
-        self.last_errors = (self.last_errors + [f"{unit.name}: {exc}"])[-16:]
-        if self.breaker_enabled() or self._breakers:
+        self._note_error(unit.name, exc)
+        if self.breaker_enabled() or self._breakers:  # unguarded: fast-path pre-check; the mutation below re-checks under the lock
             with self._breaker_lock:
                 breaker = self._breaker_for(unit.name)
                 trips_before = breaker.trips
@@ -835,10 +842,7 @@ class JobOperatorBase(OperatorBase):
                         self._tree = self.engine.navigator.tree
                         refreshed = True
                         continue
-                    self._m_errors.inc()
-                    self.last_errors = (
-                        self.last_errors + [f"{job.job_id}: {exc}"]
-                    )[-16:]
+                    self._note_error(job.job_id, exc)
                     break
         # Preserve per-job models across refreshes in parallel mode.
         kept = {u.name for u in units}

@@ -314,17 +314,25 @@ class Pusher:
         )
 
     def _replay_spill(self, ts: int) -> None:
-        """Re-publish spilled readings in order; on refusal, back off."""
+        """Re-publish spilled readings in order; on refusal, back off.
+
+        At most one replay may drain the queue at a time: a scheduled
+        retry racing a ``flush_spill()`` from another thread would
+        interleave their ``popleft``/publish pairs and break the
+        in-order replay guarantee, so late-comers yield to the owner.
+        """
         with self._spill_lock:
             self._retry_pending = False
+            if self._replaying:
+                return  # a concurrent replay already owns the queue
             self._replaying = True
         try:
             while True:
                 with self._spill_lock:
                     msg = self._spill.popleft()
-                if msg is None:
-                    self._backoff.reset()
-                    return
+                    if msg is None:
+                        self._backoff.reset()
+                        return
                 try:
                     self.broker.publish(msg.topic, msg.value, msg.timestamp)
                 except LinkDownError:

@@ -376,13 +376,31 @@ class Sanitizer:
 
     def event_summary(self) -> Dict[str, int]:
         """Instrumentation volume (how much the run actually exercised)."""
+        with self._mutex:
+            passes = self._passes
         return {
             "lock_acquisitions": self.locks.acquisitions,
             "blocking_calls": int(self._m_blocking.value),
             "model_accesses": self.races.model_accesses,
             "views_tracked": self.views.views_seen,
-            "compute_passes": self._passes,
+            "compute_passes": passes,
             "wall_clock_reads": self._timepatch.wall_clock_reads,
+        }
+
+    def lockdep_export(self) -> Dict[str, list]:
+        """The observed lockdep graph, comparable to the static one.
+
+        Same shape as ``repro.analysis.concurrency
+        .static_lock_order_graph``: every lock *name* this run acquired
+        plus every nested-acquisition edge.  The cross-validation test
+        asserts the static graph is a superset, so the two analyses
+        cannot silently drift apart.
+        """
+        return {
+            "locks": sorted(self.locks.names_seen()),
+            "edges": sorted(
+                [e.src, e.dst] for e in self.locks.graph.edges()
+            ),
         }
 
 

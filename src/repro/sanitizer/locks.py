@@ -154,7 +154,7 @@ class TrackedLock:
             # Self-deadlock: the sanitizer already reported it; refuse
             # to block forever so the bounded run can finish.
             return False
-        ok = self._inner.acquire(blocking, timeout)
+        ok = self._inner.acquire(blocking, timeout)  # wintermute: ignore[S005]
         if ok and san is not None:
             san.on_lock_acquired(self, site)
         return ok
@@ -197,6 +197,8 @@ class LockTracker:
         self.blocking_under_lock: List[Tuple[str, Tuple[str, ...], str]] = []
         self.self_deadlocks: List[Tuple[str, str]] = []
         self.acquisitions = 0
+        #: every lock name acquired at least once (graph node universe).
+        self._names_seen: Set[str] = set()
 
     def _held(self) -> List[_HeldLock]:
         held = getattr(self._tls, "held", None)
@@ -222,6 +224,12 @@ class LockTracker:
         self._held().append(_HeldLock(lock, time.perf_counter_ns(), site))
         with self._mutex:
             self.acquisitions += 1
+            self._names_seen.add(lock.name)
+
+    def names_seen(self) -> Set[str]:
+        """Names of every lock acquired during the run."""
+        with self._mutex:
+            return set(self._names_seen)
 
     def on_released(self, lock: TrackedLock) -> None:
         held = self._held()

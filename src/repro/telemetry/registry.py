@@ -35,6 +35,8 @@ import time
 from bisect import bisect_left
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.sanitizer import hooks
+
 #: Default latency bucket upper bounds in nanoseconds: a 1-10 decade
 #: ladder from 1 us to 10 s.  Fine enough to separate the paper's O(1)
 #: relative path from the O(log N) absolute path, coarse enough that a
@@ -295,15 +297,21 @@ class MetricRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, LabelsKey], Metric] = {}
+        # Guards the *structure* of the registry (which series exist):
+        # components register from sampling/worker threads while the
+        # REST scraper collects.  Individual metric updates (inc,
+        # observe) stay lock-free on the hot path.
+        self._lock = hooks.make_lock("MetricRegistry")
 
     # -- creation ------------------------------------------------------
 
     def _get_or_create(self, cls, name: str, labels: Dict[str, str], **kw):
         key = (name, _labels_key(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = self._metrics[key] = cls(name, labels, **kw)
-        elif not isinstance(metric, cls):
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = cls(name, labels, **kw)
+        if not isinstance(metric, cls):
             raise ValueError(
                 f"metric {name!r} already registered as {metric.kind}"
             )
@@ -343,7 +351,7 @@ class MetricRegistry:
         registry is later bound to a host: pre-bind counts carry over
         instead of silently resetting.
         """
-        for (name, key), metric in other._metrics.items():
+        for (name, key), metric in list(other._metrics.items()):
             if isinstance(metric, Counter):
                 self.counter(name, **metric.labels).inc(metric.value)
             elif isinstance(metric, Histogram):
@@ -360,18 +368,22 @@ class MetricRegistry:
 
     def collect(self) -> List[Metric]:
         """All registered series, sorted by (name, labels)."""
-        return [self._metrics[k] for k in sorted(self._metrics)]
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
 
     def get(self, name: str, **labels: str) -> Optional[Metric]:
         """Look up one series, or None."""
-        return self._metrics.get((name, _labels_key(labels)))
+        with self._lock:
+            return self._metrics.get((name, _labels_key(labels)))
 
     def snapshot(self) -> List[dict]:
         """JSON-able samples of every series (the /metrics JSON body)."""
         return [m.sample() for m in self.collect()]
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def __contains__(self, name: str) -> bool:
-        return any(n == name for n, _ in self._metrics)
+        with self._lock:
+            return any(n == name for n, _ in self._metrics)

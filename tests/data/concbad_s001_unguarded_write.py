@@ -1,0 +1,20 @@
+"""Seeded defect: S001 — write to a claimed attribute without its guard."""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def bump_again(self):
+        with self._lock:
+            self.count += 2
+
+    def racy_reset(self):
+        self.count = 0  # rebinds the guarded counter with no lock held

@@ -1,0 +1,20 @@
+"""Seeded defect: S002 — read of a claimed attribute without its guard."""
+
+import threading
+
+
+class Queue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def push(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def pop(self):
+        with self._lock:
+            return self._items.pop()
+
+    def depth(self):
+        return len(self._items)  # racy: len during a concurrent push

@@ -1,0 +1,22 @@
+"""Seeded defect: S003 — claimed attribute accessed under the wrong lock."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._balance_lock = threading.Lock()
+        self._audit_lock = threading.Lock()
+        self.balance = 0
+
+    def credit(self, amount):
+        with self._balance_lock:
+            self.balance += amount
+
+    def debit(self, amount):
+        with self._balance_lock:
+            self.balance -= amount
+
+    def audit(self):
+        with self._audit_lock:
+            return self.balance  # holds a lock — just not balance's

@@ -1,0 +1,18 @@
+"""Seeded defect: S004 — check-then-act on a claimed attribute."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def put_if_absent(self, key, value):
+        if key not in self._entries:  # the check runs outside the lock
+            with self._lock:
+                self._entries[key] = value  # two racers both get here

@@ -1,0 +1,14 @@
+"""Seeded defect: S005 — acquire() without with / try-finally."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, amount):
+        self._lock.acquire()
+        self.total += amount  # an exception here leaks the lock forever
+        self._lock.release()

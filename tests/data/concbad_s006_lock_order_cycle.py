@@ -1,0 +1,19 @@
+"""Seeded defect: S006 — static lock-order cycle (potential deadlock)."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._in_lock = threading.Lock()
+        self._out_lock = threading.Lock()
+
+    def inbound(self):
+        with self._in_lock:
+            with self._out_lock:
+                pass
+
+    def outbound(self):
+        with self._out_lock:  # opposite order: classic ABBA deadlock
+            with self._in_lock:
+                pass

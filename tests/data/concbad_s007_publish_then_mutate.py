@@ -1,0 +1,21 @@
+"""Seeded defect: S007 — object published, then mutated without its guard."""
+
+import threading
+
+
+class Mailbox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inbox = []
+
+    def deliver(self, payload):
+        letter = {"payload": payload}
+        with self._lock:
+            self._inbox.append(letter)
+        letter["read"] = False  # a drain() may already hold the letter
+
+    def drain(self):
+        with self._lock:
+            items = list(self._inbox)
+            self._inbox.clear()
+        return items

@@ -1,0 +1,13 @@
+"""Seeded defect: S008 — lock created per call instead of per instance."""
+
+import threading
+
+
+class Meter:
+    def __init__(self):
+        self.value = 0
+
+    def record(self, amount):
+        lock = threading.Lock()  # every caller gets a private lock
+        with lock:
+            self.value += amount

@@ -1,0 +1,18 @@
+"""Seeded defect: S009 — callbacks invoked while holding their guard."""
+
+import threading
+
+
+class Emitter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._listeners = []
+
+    def subscribe(self, fn):
+        with self._lock:
+            self._listeners.append(fn)
+
+    def emit(self, event):
+        with self._lock:
+            for listener in self._listeners:
+                listener(event)  # user code runs under our lock

@@ -1,0 +1,13 @@
+"""Seeded defect: S010 — guarded-by annotation naming an unknown lock."""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0  # guarded-by: _register_lock
+
+    def bump(self):
+        with self._lock:
+            self.hits += 1

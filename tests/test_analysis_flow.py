@@ -117,7 +117,7 @@ class TestCliIntegration:
             capsys, "--flow", str(DATA_DIR / "clean_deployment.json"),
             "--format", "json",
         )
-        assert json.loads(out)["schema_version"] == 3
+        assert json.loads(out)["schema_version"] == 4
 
     def test_flow_report_json(self, capsys):
         spec = EXAMPLES_DIR / "quickstart_deployment.json"
@@ -245,7 +245,7 @@ class TestFlowModel:
 
 
 class TestCatalogDrift:
-    """Every W/L/F rule code the analysis package can emit must be
+    """Every W/L/F/S rule code the analysis package can emit must be
     documented in docs/STATIC_ANALYSIS.md — new rules cannot land
     without a catalog entry."""
 
@@ -257,10 +257,10 @@ class TestCatalogDrift:
         ) + [REPO_ROOT / "src" / "repro" / "core" / "configurator.py"]
         emitted = set()
         for src in sources:
-            emitted |= set(re.findall(r"\b[WLF]\d{3}\b", src.read_text()))
+            emitted |= set(re.findall(r"\b[WLFS]\d{3}\b", src.read_text()))
         assert emitted, "no rule codes found — scan went wrong"
         catalog = (REPO_ROOT / "docs" / "STATIC_ANALYSIS.md").read_text()
-        documented = set(re.findall(r"\b[WLF]\d{3}\b", catalog))
+        documented = set(re.findall(r"\b[WLFS]\d{3}\b", catalog))
         missing = sorted(emitted - documented)
         assert not missing, (
             f"rule codes used in analysis/ but absent from "

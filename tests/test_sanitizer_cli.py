@@ -114,7 +114,7 @@ class TestSchemaVersion:
             capsys, "--config", str(CLEAN), "--format", "json"
         )
         got = json.loads(out)
-        assert got["schema_version"] == 3
+        assert got["schema_version"] == 4
         assert "runtime" not in got  # only present for --runtime runs
 
     def test_nothing_to_do_mentions_runtime(self, capsys):
