@@ -10,9 +10,11 @@ crossovers fall) mirror the paper's conclusions.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import subprocess
 from pathlib import Path
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +32,36 @@ __all__ = [
 #: Where ``write_bench_artifact`` drops its JSON files (the repo root,
 #: next to RESULTS.txt consumers; ``BENCH_*.json`` is gitignored).
 ARTIFACT_DIR = Path(__file__).resolve().parent.parent
+
+#: Artifact schema: 1 = bare payload, 2 = payload + ``provenance`` key.
+BENCH_SCHEMA_VERSION = 2
+
+
+def _git_state() -> tuple:
+    """(commit SHA, dirty flag) of the repo, or ("unknown", False)."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=ARTIFACT_DIR, capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+        dirty = bool(
+            subprocess.run(
+                ["git", "status", "--porcelain"],
+                cwd=ARTIFACT_DIR, capture_output=True, text=True,
+                timeout=10,
+            ).stdout.strip()
+        )
+        return sha, dirty
+    except Exception:
+        return "unknown", False
+
+
+def _config_digest(config: Optional[dict]) -> str:
+    """Stable sha256 of the bench configuration (key-order independent)."""
+    if not config:
+        return ""
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def print_header(title: str) -> None:
@@ -65,12 +97,20 @@ def print_heatmap(
         print(f"{str(label):>12}{cells}")
 
 
-def write_bench_artifact(name: str, payload: dict) -> Path:
+def write_bench_artifact(
+    name: str, payload: dict, config: Optional[dict] = None
+) -> Path:
     """Persist one benchmark's machine-readable results as JSON.
 
     Artifacts land in the repo root as ``BENCH_<name>.json`` so CI (or a
     later session) can diff numbers without re-parsing stdout.  NumPy
     scalars/arrays in ``payload`` are converted to plain Python types.
+
+    Every artifact is stamped with a ``provenance`` block — schema
+    version, producing git commit (plus a dirty-tree flag), and a
+    digest of ``config`` (the bench's parameter dict) — so committed
+    artifacts stay attributable to the code and settings that made
+    them.
     """
 
     def _plain(obj):
@@ -84,8 +124,16 @@ def write_bench_artifact(name: str, payload: dict) -> Path:
             return obj.item()
         return obj
 
+    sha, dirty = _git_state()
+    doc = _plain(payload)
+    doc["provenance"] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "config_digest": _config_digest(_plain(config) if config else None),
+    }
     path = ARTIFACT_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(_plain(payload), indent=2) + "\n")
+    path.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"  artifact: {path.name}")
     return path
 

@@ -20,8 +20,14 @@ dimension mixing, interval aliasing, per-host cache memory footprints,
 and the deployment's resilience budgets against PR 5's network section
 — all before a single runtime component is instantiated.
 
+The analyzer also runs the pipeline-fusion planner
+(:func:`repro.core.pipeline.plan_fusion`) over each resolved context so
+the ``--flow-report`` view shows which operator chains the runtime will
+compile into single fused passes, and why otherwise-fusable chains stay
+staged (F013).
+
 Findings are reported through the shared Diagnostic machinery under the
-stable rule family **F001–F012** (catalog in ``docs/STATIC_ANALYSIS.md``):
+stable rule family **F001–F013** (catalog in ``docs/STATIC_ANALYSIS.md``):
 
 ====  ========  =====================================================
 code  severity  condition
@@ -38,6 +44,7 @@ F009  error     worst outage × publish rate overflows the spill queue
 F010  warning   breaker backoff shorter than the worst outage (flap)
 F011  warning   downstream stage fires before upstream's first output
 F012  warning   post-outage replay burst overflows the ingest queue
+F013  info      fusable operator chain blocked from fusing
 ====  ========  =====================================================
 """
 
@@ -121,6 +128,13 @@ class FlowModel:
     spill_capacity: int = 8192
     ingest_queue_capacity: Optional[int] = None
     memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB
+    #: (context, member labels) per fused group the runtime would form.
+    fused_groups: List[Tuple[str, List[str]]] = field(default_factory=list)
+    #: (context, upstream label, downstream label, reason) per blocked
+    #: fusable chain (the F013 findings, kept for the report view).
+    fusion_blocked: List[Tuple[str, str, str, str]] = field(
+        default_factory=list
+    )
 
 
 # ----------------------------------------------------------------------
@@ -279,6 +293,7 @@ def _propagate_operator(
     facts: Dict[str, FlowFact],
     model: FlowModel,
     out: DiagnosticCollector,
+    fused_upstreams: Optional[Set[str]] = None,
 ) -> None:
     """Derive one operator's checks and output facts from its inputs."""
     config = op.config
@@ -310,7 +325,8 @@ def _propagate_operator(
                        effective_period)
         if scheduled:
             _check_upstream_schedule(
-                op, first_fire, input_topics, facts, out
+                op, first_fire, input_topics, facts, out,
+                fused_upstreams or frozenset(),
             )
 
     # ------------------------------------------------------------------
@@ -421,15 +437,24 @@ def _check_windows(
 
 
 def _check_upstream_schedule(
-    op, first_fire: int, input_topics, facts, out: DiagnosticCollector
+    op, first_fire: int, input_topics, facts, out: DiagnosticCollector,
+    fused_upstreams: Set[str] = frozenset(),
 ) -> None:
-    """F011: does the first pass run before upstream data can exist?"""
+    """F011: does the first pass run before upstream data can exist?
+
+    Upstreams that share a fused group with ``op`` are exempt: the
+    fused driver runs the members in registration order within one
+    pass, so the downstream's first fire sees the upstream's output
+    from the very same tick.
+    """
     flagged: Set[str] = set()
     for topic in input_topics:
         fact = facts.get(topic)
         if fact is None or fact.producer == "monitoring":
             continue
         if fact.producer in flagged:
+            continue
+        if fact.producer in fused_upstreams:
             continue
         if first_fire <= fact.first_fire_ns:
             flagged.add(fact.producer)
@@ -440,6 +465,48 @@ def _check_upstream_schedule(
                 f"first produces at {_fmt_s(fact.first_fire_ns)}; the "
                 f"first pass will see no data (add a delay)",
             )
+
+
+# ----------------------------------------------------------------------
+# Pipeline fusion eligibility (F013)
+# ----------------------------------------------------------------------
+
+def _analyze_fusion(
+    rp,
+    context: str,
+    host_has_storage: bool,
+    model: FlowModel,
+    out: DiagnosticCollector,
+) -> Dict[str, Set[str]]:
+    """Run the fusion planner over one resolved context.
+
+    Records the would-be fused groups and blocked chains on the model,
+    emits F013 for the reportable blocks, and returns each member's set
+    of co-fused upstream producer labels — used to refine F011: members
+    of one fused group execute in order within a single pass, so a
+    same-tick first fire genuinely sees the upstream's fresh output.
+    """
+    plan = rp.fusion_plan(host_has_storage=host_has_storage)
+    label_of = {op.name: op.label for op in rp.operators}
+    fused_upstreams: Dict[str, Set[str]] = {}
+    for group in plan.groups:
+        labels = [label_of.get(name, name) for name in group]
+        model.fused_groups.append((context, labels))
+        for i, name in enumerate(group):
+            fused_upstreams[name] = {
+                f"{context}/{label}" for label in labels[:i]
+            }
+    for block in plan.blocked:
+        model.fusion_blocked.append(
+            (context, block.upstream, block.downstream, block.reason)
+        )
+        out.at("analytics", context).info(
+            "F013",
+            f"operators {block.upstream!r} -> {block.downstream!r} form "
+            f"a fusable chain but stay staged ({block.reason}): "
+            f"{block.detail}",
+        )
+    return fused_upstreams
 
 
 # ----------------------------------------------------------------------
@@ -682,11 +749,13 @@ def build_flow_model(
 
     # Pusher pipelines resolve against one representative node.
     pusher_rp = resolve_pipeline(blocks_of("pushers"), pusher_tree, "pushers")
+    pusher_fused = _analyze_fusion(pusher_rp, "pushers", False, model, out)
     for op in pusher_rp.operators:
         _propagate_operator(
             op, "pushers", facts, model,
             out.at("analytics", "pushers", op.block_index, "operators",
                    op.name),
+            pusher_fused.get(op.name),
         )
 
     # Their published outputs exist on every node of the agent's view.
@@ -696,12 +765,16 @@ def build_flow_model(
             facts, agent_base, node_paths[0], node_paths
         )
 
+    # The Collect Agent always persists to storage, so its chains can
+    # never hide an intermediate from the external subscriber.
     agent_rp = resolve_pipeline(blocks_of("agent"), agent_base, "agent")
+    agent_fused = _analyze_fusion(agent_rp, "agent", True, model, out)
     for op in agent_rp.operators:
         _propagate_operator(
             op, "agent", facts, model,
             out.at("analytics", "agent", op.block_index, "operators",
                    op.name),
+            agent_fused.get(op.name),
         )
 
     # Budgets: per-host cache footprints, then resilience.
@@ -760,6 +833,16 @@ def render_flow_report(model: FlowModel) -> str:
         lines.append(
             f"  [{view.context}] {view.label}{kind}: {view.n_units} "
             f"unit(s), {schedule}{window} -> {units}"
+        )
+    for context, labels in model.fused_groups:
+        lines.append(
+            f"fusion: [{context}] {' + '.join(labels)} -> one fused "
+            f"pass per tick"
+        )
+    for context, upstream, downstream, reason in model.fusion_blocked:
+        lines.append(
+            f"fusion: [{context}] {upstream} -> {downstream} stays "
+            f"staged ({reason})"
         )
     for host, nbytes in sorted(model.host_memory.items()):
         lines.append(

@@ -62,6 +62,7 @@ KNOWN_OPERATOR_KEYS = frozenset(
         "max_workers",
         "unit_cadence",
         "batch",
+        "fusion",
         "relaxed",
         "publish_outputs",
         "breaker_threshold",
@@ -149,13 +150,14 @@ def collect_operator_diagnostics(
     for key in _BOOL_FIELDS:
         if key in block and not isinstance(block[key], bool):
             out.at(key).error("W005", f"{key} must be a bool")
-    if "batch" in block and not (
-        isinstance(block["batch"], bool) or block["batch"] == "auto"
-    ):
-        out.at("batch").error(
-            "W005",
-            f"batch must be true, false or 'auto', got {block['batch']!r}",
-        )
+    for key in ("batch", "fusion"):
+        if key in block and not (
+            isinstance(block[key], bool) or block[key] == "auto"
+        ):
+            out.at(key).error(
+                "W005",
+                f"{key} must be true, false or 'auto', got {block[key]!r}",
+            )
     for key in ("inputs", "outputs", "operator_outputs"):
         if key not in block:
             continue
@@ -213,6 +215,7 @@ def parse_operator_config(name: str, block: dict) -> OperatorConfig:
         "max_workers",
         "unit_cadence",
         "batch",
+        "fusion",
         "breaker_threshold",
         "breaker_cooldown",
         "breaker_max_cooldown",

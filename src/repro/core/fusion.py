@@ -1,0 +1,518 @@
+"""Fused pipeline execution (pipeline DAG fusion).
+
+PR 4's compiled :class:`~repro.core.queryengine.QueryPlan` stops at
+operator boundaries: a smoother → aggregator → health pipeline still
+round-trips every intermediate result through the sensor cache (and,
+when published, the broker) on every pass, then re-queries it one stage
+later.  This module compiles a *fused group* — consecutive operators the
+planner in :mod:`repro.core.pipeline` proved to form a private linear
+chain — into one executable pass:
+
+- the first member reads its external inputs through the host's real
+  Query Engine (reusing its cached ``QueryPlan`` ring-buffer bindings
+  and generation-counter invalidation);
+- each intermediate member's results land in a :class:`FusedChannel`,
+  a persistent right-aligned matrix mirroring exactly what the host's
+  operator-output caches would have accumulated (one reading per pass,
+  1 s host interval hint, capacity-clamped width) — no cache write, no
+  publish, no re-query;
+- downstream members query through a :class:`FusedEngine` proxy that
+  serves channel topics as zero-copy window views and delegates
+  everything else to the real engine;
+- only the final member's results go through the ordinary
+  ``store_results_batch``/operator-output fan-out.
+
+Semantics preservation is strict: per-pass results are bit-for-bit
+identical to the staged path (same float64 arithmetic on the same
+right-aligned tails), missing-data and short-window error accounting is
+unchanged (empty channel rows mirror empty caches), breaker-quarantined
+units simply leave their channel rows unshifted exactly as they leave
+caches unwritten, and an active runtime sanitizer makes the group fall
+back to per-operator :meth:`~repro.core.operator.OperatorBase.compute`
+— the staged, instrumented scalar path — for the pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.common.timeutil import NS_PER_SEC
+from repro.dcdb.cache import CacheView, SensorCache
+from repro.core.queryengine import BatchWindow, QueryEngine
+from repro.sanitizer import hooks
+
+#: Fallback retention window when a host exposes no ``cache_window_ns``.
+DEFAULT_CACHE_WINDOW_NS = 180 * NS_PER_SEC
+
+
+def _window_count(window_ns: int) -> int:
+    """Readings a consumer pulls from an operator-output channel.
+
+    Operator-output caches are created with the host's 1 s interval
+    hint (``Pusher._cache_for_sensor``), so the staged plan arithmetic
+    is ``window // 1s + 1`` regardless of the producer's real cadence.
+    The channel reproduces that formula exactly — parity depends on it.
+    """
+    return int(window_ns) // NS_PER_SEC + 1 if window_ns else 1
+
+
+class FusedChannel:
+    """Persistent window matrix for one intermediate member's outputs.
+
+    One row per (unit, output sensor) in emission order; ``width``
+    columns, right-aligned like a :class:`BatchWindow`.  A pass appends
+    one column worth of produced values (a vectorized shift-left) and
+    leaves non-produced rows untouched, mirroring how a staged pass
+    leaves their caches unwritten.
+    """
+
+    __slots__ = ("topics", "row_of", "width", "values", "timestamps", "counts")
+
+    def __init__(self, topics: Sequence[str], width: int) -> None:
+        rows = len(topics)
+        self.topics: Tuple[str, ...] = tuple(topics)
+        self.row_of: Dict[str, int] = {t: i for i, t in enumerate(self.topics)}
+        self.width = max(1, int(width))
+        self.values = np.full((rows, self.width), np.nan, dtype=np.float64)
+        self.timestamps = np.zeros((rows, self.width), dtype=np.int64)
+        self.counts = np.zeros(rows, dtype=np.int64)
+
+    def seed(self, prev: Optional["FusedChannel"], cache_lookup) -> None:
+        """Warm rows from a predecessor channel (plan rebuild) or from
+        the host's caches (fusion enabled after staged passes ran), so
+        switching execution modes never loses window history."""
+        for r, topic in enumerate(self.topics):
+            if prev is not None:
+                pr = prev.row_of.get(topic)
+                if pr is not None:
+                    n = min(int(prev.counts[pr]), self.width)
+                    if n:
+                        self.timestamps[r, -n:] = (
+                            prev.timestamps[pr, prev.width - n:]
+                        )
+                        self.values[r, -n:] = prev.values[pr, prev.width - n:]
+                        self.counts[r] = n
+                    continue
+            cache = cache_lookup(topic)
+            if cache is not None and len(cache):
+                self.counts[r] = cache.tail_into(
+                    self.timestamps[r], self.values[r], self.width
+                )
+
+    def append(self, ts: int, rows: List[int], vals: List[float]) -> None:
+        """Shift the produced rows left by one slot and write the new
+        column; unproduced rows keep their (older) window verbatim."""
+        if not rows:
+            return
+        if len(rows) == len(self.counts):
+            # Every row produced — the steady-state vectorized path.
+            if self.width > 1:
+                self.values[:, :-1] = self.values[:, 1:]
+                self.timestamps[:, :-1] = self.timestamps[:, 1:]
+            self.values[:, -1] = vals
+            self.timestamps[:, -1] = ts
+            np.minimum(self.counts + 1, self.width, out=self.counts)
+            return
+        idx = np.asarray(rows, dtype=np.intp)
+        if self.width > 1:
+            self.values[idx, :-1] = self.values[idx, 1:]
+            self.timestamps[idx, :-1] = self.timestamps[idx, 1:]
+        self.values[idx, -1] = vals
+        self.timestamps[idx, -1] = ts
+        self.counts[idx] = np.minimum(self.counts[idx] + 1, self.width)
+
+    def append_column(self, ts: int, vals: np.ndarray) -> None:
+        """Vectorized append: one produced value per row, in row order.
+
+        The fused driver uses this for uniform passes where a plugin's
+        ``compute_batch_vector`` kernel emitted the whole column — the
+        all-rows branch of :meth:`append` without the per-unit list
+        assembly."""
+        if self.width > 1:
+            self.values[:, :-1] = self.values[:, 1:]
+            self.timestamps[:, :-1] = self.timestamps[:, 1:]
+        self.values[:, -1] = vals
+        self.timestamps[:, -1] = ts
+        np.minimum(self.counts + 1, self.width, out=self.counts)
+
+    def append_results(self, ts: int, results) -> None:
+        """Append one pass's :class:`UnitResult` list (emission order)."""
+        rows: List[int] = []
+        vals: List[float] = []
+        row_of = self.row_of
+        for unit, values in results:
+            for sensor in unit.outputs:
+                value = values.get(sensor.name)
+                if value is None:
+                    continue
+                row = row_of.get(sensor.topic)
+                if row is not None:
+                    rows.append(row)
+                    vals.append(float(value))
+        self.append(ts, rows, vals)
+
+    def serve_count(self, window_ns: int) -> int:
+        """Valid columns a consumer window of ``window_ns`` may read."""
+        return min(_window_count(window_ns), self.width)
+
+
+class FusedEngine:
+    """Query-engine proxy a fused member computes through.
+
+    Topics bound to an upstream :class:`FusedChannel` are answered from
+    the channel matrices — zero-copy views for ``fusion_safe``
+    consumers, private copies otherwise; every other topic (raw sensor
+    inputs of the first stages, out-of-group feeds) delegates to the
+    real engine, keeping its compiled-plan cache and generation
+    invalidation in charge.  Attribute access falls through to the real
+    engine, so navigator/virtual-sensor surfaces stay available.
+    """
+
+    def __init__(
+        self,
+        real: QueryEngine,
+        channel_of: Dict[str, Tuple[FusedChannel, int]],
+        fusion_safe: bool = False,
+    ) -> None:
+        self._real = real
+        self._channel_of = dict(channel_of)
+        self._fusion_safe = bool(fusion_safe)
+        # Dispatch memo: operators reuse their memoized batch layout
+        # (the same topics tuple object every steady-state pass), so
+        # one identity check replaces the per-topic channel scan.
+        self._all_external: Optional[Tuple[str, ...]] = None
+        self._whole_channel_topics: Optional[Tuple[str, ...]] = None
+        self._whole_channel: Optional[FusedChannel] = None
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+    # Derived helpers reuse the real implementations over *this*
+    # engine's query_relative, so channel topics stay visible to them.
+    window_values = QueryEngine.window_values
+    rate = QueryEngine.rate
+    query_many_relative = QueryEngine.query_many_relative
+    query_many_absolute = QueryEngine.query_many_absolute
+
+    def latest(self, topic: str) -> CacheView:
+        return self.query_relative(topic, 0)
+
+    def _channel_tail(self, entry, count: int):
+        channel, row = entry
+        n = min(count, int(channel.counts[row]))
+        if n <= 0:
+            return None
+        lo = channel.width - n
+        return (
+            channel.timestamps[row, lo:].copy(),
+            channel.values[row, lo:].copy(),
+        )
+
+    def query_relative(self, topic: str, offset_ns: int) -> CacheView:
+        entry = self._channel_of.get(topic)
+        if entry is None:
+            return self._real.query_relative(topic, offset_ns)
+        if offset_ns < 0:
+            raise QueryError(f"negative relative offset: {offset_ns}")
+        tail = self._channel_tail(entry, _window_count(offset_ns))
+        if tail is None:
+            raise QueryError(f"no data available for sensor {topic}")
+        view = CacheView._snapshot_of(*tail)
+        san = hooks.CURRENT
+        if san is not None:
+            # Fallback passes run under the sanitizer: channel views get
+            # the same invariant checks cache views would.
+            san.on_query_view(topic, view)
+        return view
+
+    def query_absolute(self, topic: str, start_ts: int, end_ts: int) -> CacheView:
+        entry = self._channel_of.get(topic)
+        if entry is None:
+            return self._real.query_absolute(topic, start_ts, end_ts)
+        if start_ts > end_ts:
+            raise QueryError(f"inverted range: {start_ts} > {end_ts}")
+        channel, row = entry
+        n = int(channel.counts[row])
+        if not n:
+            raise QueryError(f"no data available for sensor {topic}")
+        ts = channel.timestamps[row, channel.width - n:]
+        lo = int(np.searchsorted(ts, start_ts, side="left"))
+        hi = int(np.searchsorted(ts, end_ts, side="right"))
+        if lo >= hi:
+            return CacheView.empty()
+        val = channel.values[row, channel.width - n:]
+        return CacheView._snapshot_of(ts[lo:hi].copy(), val[lo:hi].copy())
+
+    def query_relative_batch(
+        self, topics: Sequence[str], window_ns: int, key: object = None
+    ) -> BatchWindow:
+        topics = tuple(topics)  # identity-preserving when already a tuple
+        if topics is self._all_external:
+            return self._real.query_relative_batch(topics, window_ns, key=key)
+        if topics is self._whole_channel_topics:
+            return self._serve_whole_channel(topics, window_ns)
+        channel_of = self._channel_of
+        entries = [channel_of.get(t) for t in topics]
+        if all(e is None for e in entries):
+            self._all_external = topics
+            return self._real.query_relative_batch(topics, window_ns, key=key)
+        first = entries[0]
+        if (
+            first is not None
+            and topics == first[0].topics
+        ):
+            # Whole-channel identity read: the dominant shape (a stage
+            # consuming exactly its upstream's outputs, unit-aligned).
+            self._whole_channel = first[0]
+            self._whole_channel_topics = topics
+            return self._serve_whole_channel(topics, window_ns)
+        return self._gather(topics, entries, window_ns, key)
+
+    def _serve_whole_channel(
+        self, topics: Tuple[str, ...], window_ns: int
+    ) -> BatchWindow:
+        channel = self._whole_channel
+        counts = np.minimum(channel.counts, channel.serve_count(window_ns))
+        if self._fusion_safe:
+            return BatchWindow(
+                topics, channel.values, channel.timestamps, counts
+            )
+        return BatchWindow(
+            topics,
+            channel.values.copy(),
+            channel.timestamps.copy(),
+            counts,
+        )
+
+    def _gather(
+        self,
+        topics: Tuple[str, ...],
+        entries: List[Optional[tuple]],
+        window_ns: int,
+        key: object,
+    ) -> BatchWindow:
+        """Mixed channel/external batch: assemble a right-aligned matrix
+        row by row, delegating the external subset as one sub-batch."""
+        ext_topics = [t for t, e in zip(topics, entries) if e is None]
+        ext = None
+        if ext_topics:
+            ext_key = ("fused-ext", key) if key is not None else None
+            ext = self._real.query_relative_batch(
+                ext_topics, window_ns, key=ext_key
+            )
+        width = ext.width if ext is not None else 1
+        tails: List[Optional[tuple]] = []
+        for entry in entries:
+            if entry is None:
+                tails.append(None)
+                continue
+            channel, row = entry
+            tail = self._channel_tail(entry, channel.serve_count(window_ns))
+            tails.append(tail)
+            if tail is not None:
+                width = max(width, len(tail[0]))
+        u = len(topics)
+        values = np.full((u, width), np.nan, dtype=np.float64)
+        timestamps = np.zeros((u, width), dtype=np.int64)
+        counts = np.zeros(u, dtype=np.int64)
+        ext_row = 0
+        for i, (entry, tail) in enumerate(zip(entries, tails)):
+            if entry is None:
+                if ext is not None:
+                    n = int(ext.counts[ext_row])
+                    if n:
+                        timestamps[i, width - n:] = ext.row_timestamps(ext_row)
+                        values[i, width - n:] = ext.row_values(ext_row)
+                        counts[i] = n
+                    ext_row += 1
+                continue
+            if tail is not None:
+                ts, val = tail
+                n = len(ts)
+                timestamps[i, width - n:] = ts
+                values[i, width - n:] = val
+                counts[i] = n
+        return BatchWindow(topics, values, timestamps, counts)
+
+
+class FusedPlan:
+    """The compiled binding of one fused group.
+
+    Holds the per-intermediate channels and the per-member proxy
+    engines, stamped with the navigator generation and the producer
+    unit identity it was compiled against — either moving (hot-plugged
+    sensors, re-resolved units) invalidates the plan, exactly like a
+    :class:`~repro.core.queryengine.QueryPlan`.
+    """
+
+    __slots__ = ("generation", "units_sig", "channels", "engines", "vector_ok")
+
+    def __init__(
+        self, generation, units_sig, channels, engines, vector_ok
+    ) -> None:
+        self.generation = generation
+        self.units_sig = units_sig
+        self.channels: List[FusedChannel] = channels
+        self.engines: List[Optional[FusedEngine]] = engines
+        #: Per intermediate member: one output per unit, so a vector
+        #: kernel's column aligns 1:1 with the channel rows.
+        self.vector_ok: List[bool] = vector_ok
+
+
+class FusedGroup:
+    """One scheduled fused pass over an ordered operator chain."""
+
+    def __init__(
+        self,
+        name: str,
+        ops: Sequence,
+        host,
+        engine: QueryEngine,
+        fallback_counter=None,
+    ) -> None:
+        self.name = name
+        self.ops = list(ops)
+        self.host = host
+        self.engine = engine
+        self._m_fallbacks = fallback_counter
+        self._plan: Optional[FusedPlan] = None
+
+    def members(self) -> List[str]:
+        return [op.name for op in self.ops]
+
+    # ------------------------------------------------------------------
+    # Plan compilation
+    # ------------------------------------------------------------------
+
+    def _units_sig(self) -> tuple:
+        """Identity of every producer unit (terminal units may churn
+        freely — job operators rebuild theirs each pass — without
+        invalidating the channels, which never carry them)."""
+        return tuple(id(u) for op in self.ops[:-1] for u in op.units)
+
+    def _ensure_plan(self) -> FusedPlan:
+        gen = self.engine.navigator.generation
+        sig = self._units_sig()
+        plan = self._plan
+        if plan is not None and plan.generation == gen and plan.units_sig == sig:
+            return plan
+        return self._compile(gen, sig)
+
+    def _compile(self, generation, units_sig) -> FusedPlan:
+        cache_window_ns = getattr(
+            self.host, "cache_window_ns", DEFAULT_CACHE_WINDOW_NS
+        )
+        capacity = SensorCache.capacity_for_duration(
+            cache_window_ns, NS_PER_SEC
+        )
+        old = self._plan
+        channels: List[FusedChannel] = []
+        for i, op in enumerate(self.ops[:-1]):
+            topics = [s.topic for u in op.units for s in u.outputs]
+            width = 1
+            for consumer in self.ops[i + 1:]:
+                width = max(
+                    width,
+                    min(_window_count(consumer.config.window_ns), capacity),
+                )
+            channel = FusedChannel(topics, width)
+            prev = (
+                old.channels[i]
+                if old is not None and i < len(old.channels)
+                else None
+            )
+            channel.seed(prev, self.host.cache_for)
+            channels.append(channel)
+        engines: List[Optional[FusedEngine]] = [None]
+        channel_of: Dict[str, Tuple[FusedChannel, int]] = {}
+        for i in range(1, len(self.ops)):
+            channel = channels[i - 1]
+            channel_of = dict(channel_of)
+            for row, topic in enumerate(channel.topics):
+                channel_of[topic] = (channel, row)
+            engines.append(
+                FusedEngine(
+                    self.engine,
+                    channel_of,
+                    fusion_safe=type(self.ops[i]).fusion_safe,
+                )
+            )
+        vector_ok = [
+            all(len(u.outputs) == 1 for u in op.units)
+            for op in self.ops[:-1]
+        ]
+        plan = FusedPlan(generation, units_sig, channels, engines, vector_ok)
+        self._plan = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, ts: int) -> None:
+        """One scheduled pass: fused when allowed, staged otherwise."""
+        if hooks.CURRENT is not None:
+            self._run_staged(ts)
+            return
+        plan = self._ensure_plan()
+        last = len(self.ops) - 1
+        for i, op in enumerate(self.ops):
+            proxy = plan.engines[i]
+            vectored = i < last and plan.vector_ok[i]
+            vector = None
+            if proxy is None:
+                if vectored:
+                    vector, results = op.compute_fused_vector(ts)
+                else:
+                    results = op.compute_fused(ts)
+            else:
+                real = op.engine
+                op.engine = proxy
+                try:
+                    if vectored:
+                        vector, results = op.compute_fused_vector(ts)
+                    else:
+                        results = op.compute_fused(ts)
+                finally:
+                    op.engine = real
+            if i < last:
+                if vector is not None:
+                    plan.channels[i].append_column(ts, vector)
+                else:
+                    plan.channels[i].append_results(ts, results)
+            else:
+                op._store_results(ts, results)
+                op._store_operator_outputs(ts, results)
+
+    def _run_staged(self, ts: int) -> None:
+        """Sanitizer-veto fallback: every member runs its ordinary
+        staged pass (instrumented scalar compute, full store/publish
+        fan-out).  Downstream members still read through the channel
+        proxies — the host caches hold no intermediate history from
+        fused passes, the channels do — and the channels keep absorbing
+        the intermediates so resuming fused execution later sees the
+        same window history an always-staged run would have cached.
+        Channel reads stay bit-exact with cache reads here because
+        ``SensorCache.view_relative`` with the 1 s operator-output
+        interval hint is count-bounded by the same arithmetic as
+        :func:`_window_count`."""
+        if self._m_fallbacks is not None:
+            self._m_fallbacks.inc()
+        plan = self._ensure_plan()
+        last = len(self.ops) - 1
+        for i, op in enumerate(self.ops):
+            proxy = plan.engines[i]
+            if proxy is None:
+                results = op.compute(ts)
+            else:
+                real = op.engine
+                op.engine = proxy
+                try:
+                    results = op.compute(ts)
+                finally:
+                    op.engine = real
+            if i < last:
+                plan.channels[i].append_results(ts, results)

@@ -15,7 +15,9 @@ from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigError, PluginError
 from repro.core.configurator import Configurator
+from repro.core.fusion import FusedGroup
 from repro.core.operator import JobOperatorBase, OperatorBase
+from repro.core.pipeline import FusionSpec, plan_fusion
 from repro.core.queryengine import QueryEngine
 from repro.dcdb.restapi import RestResponse
 from repro.telemetry import MetricRegistry
@@ -37,8 +39,15 @@ class OperatorManager:
         self._operators: Dict[str, OperatorBase] = {}
         self._plugin_of: Dict[str, str] = {}
         self._tasks: Dict[str, object] = {}
+        self._fused_groups: Dict[str, FusedGroup] = {}
         self._telemetry = MetricRegistry()
-        self._m_busy = self._telemetry.counter("analytics_busy_ns_total")
+        self._init_metrics(self._telemetry)
+
+    def _init_metrics(self, registry: MetricRegistry) -> None:
+        self._m_busy = registry.counter("analytics_busy_ns_total")
+        self._m_fusion_fallbacks = registry.counter("fusion_fallbacks_total")
+        self._m_fusion_pass = registry.histogram("fusion_pass_seconds")
+        registry.gauge("fused_groups", fn=lambda: len(self._fused_groups))
 
     @property
     def analytics_busy_ns(self) -> int:
@@ -57,7 +66,7 @@ class OperatorManager:
         if registry is not None and registry is not self._telemetry:
             registry.absorb(self._telemetry)
             self._telemetry = registry
-            self._m_busy = registry.counter("analytics_busy_ns_total")
+            self._init_metrics(registry)
         self.engine = QueryEngine(host)
         self._context.setdefault("host", host)
         host.rest.register("GET", "/analytics/operators", self._route_list)
@@ -95,6 +104,12 @@ class OperatorManager:
         for op in operators:
             op.bind(self.host, self.engine)
             op.init_units(tree)
+            # Announce this stage's outputs so later stages (this block
+            # or the next) resolve against them before any pass stored.
+            self.engine.declare_topics(
+                s.topic for u in op.units for s in u.outputs
+            )
+            tree = self.engine.navigator.tree
             self._operators[op.name] = op
             self._plugin_of[op.name] = configurator.plugin_name
             if op.config.mode == "online":
@@ -107,6 +122,10 @@ class OperatorManager:
                 self._tasks[op.name] = task
             if start:
                 op.start()
+        if self._fused_groups:
+            # A live fusion plan may gain members (or lose eligibility —
+            # the new block could subscribe to a fused intermediate).
+            self.refresh_fusion()
         return operators
 
     def _run_operator(self, op: OperatorBase, ts: int) -> None:
@@ -119,11 +138,97 @@ class OperatorManager:
         op = self._operators.pop(name, None)
         if op is None:
             raise PluginError(f"no operator {name!r}")
+        replan = bool(self._fused_groups)
         op.stop()
         task = self._tasks.pop(name, None)
         if task is not None:
             task.enabled = False
         self._plugin_of.pop(name, None)
+        if replan:
+            self.refresh_fusion()
+
+    # ------------------------------------------------------------------
+    # Pipeline fusion
+    # ------------------------------------------------------------------
+
+    def fused_groups(self) -> List[FusedGroup]:
+        """The live fused groups, in registration order."""
+        return list(self._fused_groups.values())
+
+    def _fusion_specs(self) -> List[FusionSpec]:
+        """Planner input for the live operators, registration order."""
+        specs = []
+        for op in self._operators.values():
+            specs.append(
+                FusionSpec(
+                    name=op.name,
+                    label=f"{self._plugin_of.get(op.name, '?')}/{op.name}",
+                    config=op.config,
+                    supports_batch=type(op).supports_batch,
+                    is_job_plugin=isinstance(op, JobOperatorBase),
+                    input_topics=frozenset(
+                        t for u in op.units for t in u.inputs
+                    ),
+                    output_topics=frozenset(
+                        s.topic for u in op.units for s in u.outputs
+                    ),
+                )
+            )
+        return specs
+
+    def refresh_fusion(self) -> List[List[str]]:
+        """(Re)plan fused groups over the currently loaded operators.
+
+        Dissolves any existing groups first — member tasks were only
+        *disabled* (they stay in the scheduler heap with their phase
+        preserved), so dissolving re-enables them and restores the
+        leader's per-operator callback.  Each planned group then runs
+        as one scheduled pass at its leader's slot: the leader task's
+        callback is rebound to the group driver and the other members'
+        tasks are disabled.  Returns the planned member-name groups.
+        """
+        self._require_host()
+        assert self.engine is not None
+        for group in self._fused_groups.values():
+            leader = group.ops[0]
+            task = self._tasks.get(leader.name)
+            if task is not None:
+                task.fn = lambda ts, o=leader: self._run_operator(o, ts)
+            for member in group.ops[1:]:
+                task = self._tasks.get(member.name)
+                if task is not None:
+                    task.enabled = True
+        self._fused_groups.clear()
+        plan = plan_fusion(
+            self._fusion_specs(),
+            host_has_storage=getattr(self.host, "storage", None) is not None,
+        )
+        for names in plan.groups:
+            ops = [self._operators[n] for n in names]
+            leader_task = self._tasks.get(ops[0].name)
+            if leader_task is None:
+                continue  # leader lost its schedule slot; skip the group
+            group = FusedGroup(
+                name=f"{self.host.name}:fused:{'+'.join(names)}",
+                ops=ops,
+                host=self.host,
+                engine=self.engine,
+                fallback_counter=self._m_fusion_fallbacks,
+            )
+            leader_task.fn = lambda ts, g=group: self._run_fused_group(g, ts)
+            for member in ops[1:]:
+                task = self._tasks.get(member.name)
+                if task is not None:
+                    task.enabled = False
+            self._fused_groups[ops[0].name] = group
+        return plan.groups
+
+    def _run_fused_group(self, group: FusedGroup, ts: int) -> None:
+        t0 = time.perf_counter_ns()
+        group.run(ts)
+        elapsed = time.perf_counter_ns() - t0
+        self._m_busy.inc(elapsed)
+        self._m_fusion_pass.observe(elapsed / 1e9)
 
     # ------------------------------------------------------------------
     # Operator access and control

@@ -26,6 +26,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.common.errors import ConfigError, PluginError, QueryError
 from repro.common.timeutil import NS_PER_SEC
 from repro.dcdb.sensor import Sensor
@@ -39,6 +41,7 @@ from repro.telemetry import Histogram, MetricRegistry
 MODES = ("online", "ondemand")
 UNIT_MODES = ("sequential", "parallel")
 BATCH_MODES = (True, False, "auto")
+FUSION_MODES = (True, False, "auto")
 
 
 @dataclass
@@ -66,6 +69,12 @@ class OperatorConfig:
             even through the default per-unit fallback; ``False`` pins
             the scalar path.  The runtime sanitizer always computes
             scalar so its per-unit hooks keep firing.
+        fusion: ``"auto"`` (default) lets the manager's fusion planner
+            group this operator with adjacent pipeline stages into one
+            fused pass when eligible; ``True`` additionally forces
+            membership through the per-unit fallback paths (like
+            ``batch: true``) and admits job operators as terminal
+            consumers; ``False`` keeps the operator on the staged path.
         breaker_threshold: consecutive failures after which a unit is
             quarantined (skipped) by its circuit breaker; 0 (default)
             disables automatic tripping, leaving only manual REST
@@ -89,6 +98,7 @@ class OperatorConfig:
     max_workers: int = 1
     unit_cadence: int = 1
     batch: object = "auto"
+    fusion: object = "auto"
     breaker_threshold: int = 0
     breaker_cooldown: int = 4
     breaker_max_cooldown: int = 64
@@ -122,6 +132,11 @@ class OperatorConfig:
             raise ConfigError(
                 f"operator {self.name}: batch must be true, false or "
                 f"'auto', not {self.batch!r}"
+            )
+        if self.fusion not in FUSION_MODES:
+            raise ConfigError(
+                f"operator {self.name}: fusion must be true, false or "
+                f"'auto', not {self.fusion!r}"
             )
         if self.breaker_threshold < 0:
             raise ConfigError(
@@ -167,6 +182,13 @@ class OperatorBase:
     #: Whether the plugin ships a vectorized :meth:`compute_batch`.
     supports_batch = False
 
+    #: Whether :meth:`compute_batch` treats its :class:`BatchWindow` as
+    #: read-only.  Fused pipeline stages (``core/fusion.py``) serve
+    #: windows as zero-copy views over live fused-channel matrices to
+    #: ``fusion_safe`` consumers; plugins that mutate window arrays in
+    #: place must leave this ``False`` to receive private copies.
+    fusion_safe = False
+
     @classmethod
     def flow_transforms(cls, params: dict) -> Dict[str, object]:
         """Declarative output-unit metadata for the static dataflow
@@ -209,6 +231,12 @@ class OperatorBase:
         # mode records failures from pool worker threads.
         self._breakers: Dict[str, UnitBreaker] = {}
         self._breaker_lock = hooks.make_lock("OperatorBase.breaker")
+        # Memoized batch-query layout: (key, topics, slices) from the
+        # last batch_window call, keyed on the exact unit identities.
+        self._batch_layout: Optional[tuple] = None
+        # Memoized one-row-per-unit index (vector-kernel alignment),
+        # keyed on the slices object batch_window keeps stable.
+        self._row_layout: Optional[tuple] = None
         # Unbound operators instrument against a private registry; bind()
         # migrates the accrued values into the host's registry so every
         # operator shows up under the host's GET /metrics.
@@ -408,6 +436,95 @@ class OperatorBase:
         if san is not None:
             san.end_pass(self)
         return results
+
+    def compute_fused(self, ts: int) -> List[UnitResult]:
+        """One member pass of a fused pipeline group.
+
+        Identical to :meth:`compute` up to (and including) breaker
+        bookkeeping and telemetry, but performs **no** result storage:
+        the fused group driver threads intermediate results straight
+        into the next stage's window and only routes the final stage
+        through :meth:`_store_results`/:meth:`_store_operator_outputs`.
+        Never runs with the sanitizer active — the group driver falls
+        back to the staged :meth:`compute` path first.
+        """
+        if not self.enabled:
+            return []
+        t0 = time.perf_counter_ns()
+        results = self._compute_results(ts)
+        self._record_unit_successes(results)
+        elapsed = time.perf_counter_ns() - t0
+        self._m_computes.inc()
+        self._m_busy.inc(elapsed)
+        self._m_latency.observe(elapsed)
+        self._m_unit_results.inc(len(results))
+        return results
+
+    def compute_fused_vector(self, ts: int):
+        """One fused *intermediate* pass, vectorized when possible.
+
+        Returns ``(vector, results)`` with exactly one of the two set:
+        when the pass is plain — no cadence staggering, no breakers to
+        account for, batching on — and the plugin's
+        :meth:`compute_batch_vector` kernel accepts it, ``vector`` is
+        the float64 output column aligned with ``self.units`` and
+        ``results`` is None; otherwise ``vector`` is None and
+        ``results`` is the ordinary :meth:`compute_fused` list.  The
+        fused group driver threads the vector straight into the next
+        stage's window matrix, skipping per-unit result packaging.
+        """
+        if not self.enabled:
+            return None, []
+        vec = None
+        if (
+            self.config.unit_cadence <= 1
+            and not self._breakers  # unguarded: emptiness fast-path; any breaker routes through the accounted list path
+            and self.batch_enabled()
+        ):
+            t0 = time.perf_counter_ns()
+            try:
+                vec = self.compute_batch_vector(self.units, ts)
+            except (QueryError, PluginError, ValueError, KeyError):
+                # The list path below re-raises and accounts for it
+                # exactly as a staged pass would.
+                vec = None
+        if vec is None:
+            return None, self.compute_fused(ts)
+        elapsed = time.perf_counter_ns() - t0
+        self._m_computes.inc()
+        self._m_busy.inc(elapsed)
+        self._m_latency.observe(elapsed)
+        self._m_unit_results.inc(len(self.units))
+        return vec, None
+
+    def compute_batch_vector(self, units: Sequence[Unit], ts: int):
+        """Optional vectorized kernel for fused intermediate stages.
+
+        When the pass is uniform — every unit exactly one input row
+        with equal non-empty window counts, one output per unit —
+        return the float64 output vector aligned with ``units``.
+        Return None to decline; the driver then runs the ordinary
+        :meth:`compute_batch` list path.  Implementations must be
+        bit-for-bit identical to the values :meth:`compute_batch`
+        would produce for the same pass, and must not store anything.
+        """
+        return None
+
+    def _single_row_layout(self, slices: List[range]):
+        """Unit→row index when every unit maps to exactly one window
+        row (the vector kernels' alignment precondition), else None.
+        Memoized on the slices object, which :meth:`batch_window`'s
+        layout memo keeps identity-stable across steady-state passes."""
+        memo = self._row_layout
+        if memo is not None and memo[0] is slices:
+            return memo[1]
+        rows = None
+        if all(len(s) == 1 for s in slices):
+            rows = np.fromiter(
+                (s[0] for s in slices), dtype=np.intp, count=len(slices)
+            )
+        self._row_layout = (slices, rows)
+        return rows
 
     def _due_units(self) -> List[Unit]:
         """Units owed a computation this pass (cadence staggering,
@@ -629,13 +746,22 @@ class OperatorBase:
         """
         if topics_of is None:
             topics_of = _unit_inputs
-        topics: List[str] = []
-        slices: List[range] = []
-        for unit in units:
-            unit_topics = topics_of(unit)
-            lo = len(topics)
-            topics.extend(unit_topics)
-            slices.append(range(lo, len(topics)))
+        # The layout (flattened topics + per-unit row slices) depends
+        # only on the unit identities; steady-state passes reuse it.
+        key = (topics_of, tuple(map(id, units)))
+        cached = self._batch_layout
+        if cached is not None and cached[0] == key:
+            topics, slices = cached[1], cached[2]
+        else:
+            topics = []
+            slices: List[range] = []
+            for unit in units:
+                unit_topics = topics_of(unit)
+                lo = len(topics)
+                topics.extend(unit_topics)
+                slices.append(range(lo, len(topics)))
+            topics = tuple(topics)
+            self._batch_layout = (key, topics, slices)
         window = self.engine.query_relative_batch(
             topics, self.config.window_ns, key=f"operator:{self.name}"
         )
@@ -855,3 +981,8 @@ class JobOperatorBase(OperatorBase):
         if self.enabled:
             self.refresh_units(ts)
         return super().compute(ts)
+
+    def compute_fused(self, ts: int) -> List[UnitResult]:
+        if self.enabled:
+            self.refresh_units(ts)
+        return super().compute_fused(ts)

@@ -17,13 +17,15 @@ remain the user's responsibility, exactly as in the real system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.common.errors import ConfigError, UnitResolutionError
-from repro.core.manager import OperatorManager
 from repro.core.operator import JobOperatorBase, OperatorBase, OperatorConfig
 from repro.core.tree import SensorTree
 from repro.core.units import Unit, UnitResolver
+
+if TYPE_CHECKING:  # annotation-only; manager imports the planner below
+    from repro.core.manager import OperatorManager
 
 
 @dataclass
@@ -61,6 +63,14 @@ class Pipeline:
             stage.manager.refresh_sensor_space()
             ops = stage.manager.load_plugin(stage.config, start=start)
             self._operators.setdefault(stage.label, []).extend(ops)
+        # All stages are in place: let each distinct manager plan fused
+        # groups over its now-complete operator sequence.
+        seen = set()
+        for stage in self.stages:
+            if id(stage.manager) in seen:
+                continue
+            seen.add(id(stage.manager))
+            stage.manager.refresh_fusion()
         return dict(self._operators)
 
     def operators(self, label: str) -> List[OperatorBase]:
@@ -131,6 +141,34 @@ class ResolvedPipeline:
     tree: SensorTree
     operators: List[ResolvedOperator] = field(default_factory=list)
 
+    def fusion_plan(self, host_has_storage: bool = False) -> "FusionPlan":
+        """Run the fusion planner over this resolved pipeline.
+
+        Builds one :class:`FusionSpec` per resolved operator (plugin
+        batch capability looked up without instantiation) and plans the
+        same groups the runtime manager would form, so the static flow
+        analyzer and the live deployment agree on eligibility.
+        """
+        from repro.core.registry import get_plugin_class
+
+        specs = []
+        for op in self.operators:
+            cls = get_plugin_class(op.plugin)
+            specs.append(
+                FusionSpec(
+                    name=op.name,
+                    label=op.label,
+                    config=op.config,
+                    supports_batch=bool(getattr(cls, "supports_batch", False)),
+                    is_job_plugin=op.is_job_plugin,
+                    input_topics=frozenset(
+                        t for u in op.units for t in u.inputs
+                    ),
+                    output_topics=frozenset(op.output_topics()),
+                )
+            )
+        return plan_fusion(specs, host_has_storage=host_has_storage)
+
 
 def resolve_pipeline(
     blocks: Sequence[dict],
@@ -200,6 +238,196 @@ def _add_topic(tree: SensorTree, topic: str) -> None:
         tree.add_sensor(topic)
     except TopicError:
         pass  # collides with a component node; resolution rules apply
+
+
+# ----------------------------------------------------------------------
+# Fusion planner
+# ----------------------------------------------------------------------
+#
+# A fused group is a maximal run of *consecutive* operators (manager
+# registration order == block order) forming a linear chain: each
+# member consumes the previous member's output topics, all members
+# share one sampling period, and no intermediate output has a consumer
+# outside the group.  Consecutiveness is load-bearing, not cosmetic:
+# the scheduler breaks same-tick ties by registration order, so a
+# fused group executing at its leader's slot is order-equivalent to
+# the staged passes only when nothing else was registered in between.
+# The planner is pure (no runtime state) so the manager and the static
+# flow analyzer (F013) share one source of eligibility truth.
+
+#: Blocked-chain reasons surfaced as F013 info diagnostics.  Other
+#: reasons (explicit ``fusion: false``, on-demand mode, job-plugin
+#: producers, no chaining at all) stay silent — they are either
+#: deliberate opt-outs or structurally meaningless to report.
+REPORTABLE_FUSION_BLOCKS = (
+    "batch-disabled",
+    "period-mismatch",
+    "external-subscriber",
+)
+
+
+@dataclass
+class FusionSpec:
+    """One operator's planner-facing summary (runtime or static)."""
+
+    name: str
+    config: OperatorConfig
+    supports_batch: bool = False
+    is_job_plugin: bool = False
+    input_topics: frozenset = frozenset()
+    output_topics: frozenset = frozenset()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = self.name
+
+
+@dataclass
+class FusionBlock:
+    """An adjacent chain that would fuse but for ``reason``."""
+
+    upstream: str
+    downstream: str
+    reason: str
+    detail: str = ""
+
+
+@dataclass
+class FusionPlan:
+    """Planner output: fused groups plus reportable blocked chains."""
+
+    groups: List[List[str]] = field(default_factory=list)
+    blocked: List[FusionBlock] = field(default_factory=list)
+
+
+def _batch_capable(spec: FusionSpec) -> bool:
+    """Whether the member can run its pass inside a fused group."""
+    if spec.config.batch is False:
+        return False
+    return bool(
+        spec.supports_batch
+        or spec.config.batch is True
+        or spec.config.fusion is True
+    )
+
+
+def _can_lead(spec: FusionSpec) -> bool:
+    """Whether the spec may open a group (i.e. become a producer)."""
+    return (
+        spec.config.mode == "online"
+        and spec.config.fusion is not False
+        and not spec.is_job_plugin
+        and _batch_capable(spec)
+    )
+
+
+def _chain_verdict(
+    tail: FusionSpec,
+    consumer: FusionSpec,
+    group: List[FusionSpec],
+    specs: Sequence[FusionSpec],
+    host_has_storage: bool,
+) -> Optional[tuple]:
+    """``None`` if ``consumer`` may join the group behind ``tail``,
+    else ``(reason, detail)`` explaining why the chain breaks."""
+    forced_job = consumer.is_job_plugin and consumer.config.fusion is True
+    chained = bool(consumer.input_topics & tail.output_topics) or forced_job
+    if not chained:
+        return ("not-chained", "")
+    if consumer.config.mode != "online":
+        return ("mode", f"{consumer.label} is {consumer.config.mode}")
+    if consumer.config.fusion is False or tail.config.fusion is False:
+        return ("opt-out", "fusion: false")
+    if consumer.is_job_plugin and not forced_job:
+        return ("job", "job operators join only with fusion: true")
+    if tail.is_job_plugin:
+        return ("job", "job operators cannot produce fused intermediates")
+    if not _batch_capable(consumer):
+        return (
+            "batch-disabled",
+            f"{consumer.label} has batch: false"
+            if consumer.config.batch is False
+            else f"{consumer.label} has no vectorized kernel "
+            f"(set batch/fusion: true to force)",
+        )
+    if (
+        consumer.config.interval_ns != tail.config.interval_ns
+        or consumer.config.delay_ns != tail.config.delay_ns
+    ):
+        return (
+            "period-mismatch",
+            f"{tail.label} runs every {tail.config.interval_ns}ns "
+            f"(delay {tail.config.delay_ns}ns) but {consumer.label} every "
+            f"{consumer.config.interval_ns}ns "
+            f"(delay {consumer.config.delay_ns}ns)",
+        )
+    # ``tail`` would become an intermediate: its per-pass outputs must
+    # have no subscriber outside the group, or skipping the cache write
+    # and broker publish changes observable behavior.
+    if tail.config.publish_outputs:
+        return (
+            "external-subscriber",
+            f"{tail.label} publishes its outputs over MQTT "
+            "(set publish_outputs: false on private intermediates)",
+        )
+    if host_has_storage:
+        return (
+            "external-subscriber",
+            "the host's storage backend persists every stored reading",
+        )
+    if tail.config.operator_outputs:
+        return (
+            "external-subscriber",
+            f"{tail.label} stores operator-level aggregate outputs",
+        )
+    members = {id(s) for s in group} | {id(consumer)}
+    for other in specs:
+        if id(other) in members:
+            continue
+        if other.input_topics & tail.output_topics:
+            return (
+                "external-subscriber",
+                f"{tail.label} outputs are also consumed by {other.label}",
+            )
+    return None
+
+
+def plan_fusion(
+    specs: Sequence[FusionSpec], host_has_storage: bool = False
+) -> FusionPlan:
+    """Greedily group consecutive fusable chains.
+
+    ``specs`` must be in manager registration order.  Returns groups of
+    ≥ 2 member names plus the blocked adjacencies whose reason is worth
+    surfacing (:data:`REPORTABLE_FUSION_BLOCKS`).
+    """
+    plan = FusionPlan()
+    current: List[FusionSpec] = []
+    for spec in specs:
+        if current:
+            verdict = _chain_verdict(
+                current[-1], spec, current, specs, host_has_storage
+            )
+            if verdict is None:
+                current.append(spec)
+                continue
+            reason, detail = verdict
+            if reason in REPORTABLE_FUSION_BLOCKS:
+                plan.blocked.append(
+                    FusionBlock(
+                        upstream=current[-1].label,
+                        downstream=spec.label,
+                        reason=reason,
+                        detail=detail,
+                    )
+                )
+            if len(current) >= 2:
+                plan.groups.append([s.name for s in current])
+        current = [spec] if _can_lead(spec) else []
+    if len(current) >= 2:
+        plan.groups.append([s.name for s in current])
+    return plan
 
 
 def replicate_topics(

@@ -176,6 +176,9 @@ class QueryEngine:
         self._navigator = navigator or SensorNavigator.from_topics(
             host.sensor_topics()
         )
+        #: Operator-output topics announced before their producer has
+        #: stored anything (see :meth:`declare_topics`).
+        self._declared_topics: set = set()
         # Shares the host's metric registry when it has one (Pusher /
         # Collect Agent); standalone engines get a private registry so
         # instrumentation is unconditional.
@@ -237,8 +240,32 @@ class QueryEngine:
 
         Needed when new sensors appear after engine construction — e.g.
         upstream pipeline stages starting to publish derived metrics.
+        Declared-but-not-yet-stored operator outputs stay in the tree so
+        downstream pipeline stages keep resolving across rebuilds.
         """
-        self._navigator.rebuild(self._host.sensor_topics())
+        topics = list(self._host.sensor_topics())
+        if self._declared_topics:
+            known = set(topics)
+            topics.extend(
+                t for t in sorted(self._declared_topics) if t not in known
+            )
+        self._navigator.rebuild(topics)
+
+    def declare_topics(self, topics) -> None:
+        """Announce operator-output topics ahead of their first store.
+
+        Pipeline stages resolve their units against the sensor tree at
+        load time, before any upstream pass has lazily created the
+        operator-output caches.  Declaring the upstream stage's output
+        topics makes a downstream ``<bottomup>`` input expression match
+        immediately, so whole pipelines load cold in one deployment
+        build.  Rebuilds the navigator (bumping the plan generation)
+        only when a genuinely new topic appears.
+        """
+        new = set(topics) - self._declared_topics
+        if new:
+            self._declared_topics |= new
+            self.refresh_navigator()
 
     def topics(self) -> List[str]:
         """All topics currently queryable on this host (incl. virtual)."""
@@ -525,27 +552,11 @@ class QueryEngine:
         counts = np.zeros(u, dtype=np.int64)
         hits = 0
         for i, cache, count in plan.cache_rows:
-            size = cache._size
-            if not size:
+            if not cache._size:
                 continue  # filled from the scalar dict below
-            # Direct ring read: the _tail_view arithmetic, written into
-            # the result matrix without intermediate view objects.
-            n = count if count < size else size
-            head = cache._head
-            cap = cache._cap
-            start = (head - n) % cap
-            end = (head - 1) % cap + 1
-            col = width - n
-            if start < end:
-                timestamps[i, col:] = cache._ts[start:end]
-                values[i, col:] = cache._val[start:end]
-            else:
-                k = cap - start
-                timestamps[i, col:col + k] = cache._ts[start:]
-                values[i, col:col + k] = cache._val[start:]
-                timestamps[i, col + k:] = cache._ts[:end]
-                values[i, col + k:] = cache._val[:end]
-            counts[i] = n
+            # Direct ring read: the cache writes its tail slices into
+            # the result row without intermediate view objects.
+            counts[i] = cache.tail_into(timestamps[i], values[i], count)
             hits += 1
         for i, (ts, val) in scalar.items():
             if ts is not None and len(ts):

@@ -175,6 +175,20 @@ class SensorCache:
         #: surface the aggregate as a telemetry drop gauge.
         self.stale_drops = 0
 
+    @staticmethod
+    def capacity_for_duration(
+        window_ns: int, interval_ns: int, slack: float = 1.2
+    ) -> int:
+        """Ring capacity needed for ``window_ns`` at ``interval_ns``.
+
+        Exposed separately from :meth:`for_duration` so consumers that
+        only need the *sizing arithmetic* (fused-channel width planning,
+        memory estimation) share it without allocating a buffer.
+        """
+        if interval_ns <= 0:
+            raise ValueError("interval_ns must be positive")
+        return max(2, int(np.ceil(window_ns / interval_ns * slack)) + 1)
+
     @classmethod
     def for_duration(
         cls, window_ns: int, interval_ns: int, slack: float = 1.2
@@ -184,9 +198,7 @@ class SensorCache:
         A slack factor (default 20%) absorbs sampling jitter, mirroring
         DCDB's maxHistory handling.
         """
-        if interval_ns <= 0:
-            raise ValueError("interval_ns must be positive")
-        capacity = max(2, int(np.ceil(window_ns / interval_ns * slack)) + 1)
+        capacity = cls.capacity_for_duration(window_ns, interval_ns, slack)
         return cls(capacity, interval_ns=interval_ns)
 
     # ------------------------------------------------------------------
@@ -308,21 +320,43 @@ class SensorCache:
     # Views
     # ------------------------------------------------------------------
 
+    def tail_into(self, dst_ts: np.ndarray, dst_val: np.ndarray, count: int) -> int:
+        """Copy the newest ``min(count, size)`` readings into the *tail*
+        of the destination arrays, oldest-first, and return how many
+        were written.
+
+        This is the zero-intermediate-copy window primitive behind both
+        the compiled query plans (``QueryEngine._execute_plan``) and the
+        fused pipeline channels: the ring's one or two live segments are
+        sliced straight into the caller's right-aligned row storage,
+        with no per-reading loop and no temporary concatenation.  The
+        destinations must be at least ``min(count, size)`` long.
+        """
+        n = count if count < self._size else self._size
+        if n <= 0:
+            return 0
+        start = (self._head - n) % self._cap
+        end = (self._head - 1) % self._cap + 1
+        if start < end:
+            dst_ts[-n:] = self._ts[start:end]
+            dst_val[-n:] = self._val[start:end]
+        else:
+            first = self._cap - start
+            dst_ts[-n:first - n] = self._ts[start:]
+            dst_val[-n:first - n] = self._val[start:]
+            dst_ts[first - n:] = self._ts[:end]
+            dst_val[first - n:] = self._val[:end]
+        return n
+
     def _tail_view(self, count: int) -> CacheView:
         """View over the newest ``count`` readings (<= size)."""
         count = min(count, self._size)
         if count <= 0:
             return CacheView.empty()
-        start = (self._head - count) % self._cap
-        end = (self._head - 1) % self._cap + 1
-        if start < end:
-            return CacheView._snapshot_of(
-                self._ts[start:end].copy(), self._val[start:end].copy()
-            )
-        return CacheView._snapshot_of(
-            np.concatenate((self._ts[start:], self._ts[:end])),
-            np.concatenate((self._val[start:], self._val[:end])),
-        )
+        ts = np.empty(count, dtype=np.int64)
+        val = np.empty(count, dtype=np.float64)
+        self.tail_into(ts, val, count)
+        return CacheView._snapshot_of(ts, val)
 
     def view_latest(self) -> CacheView:
         """View containing only the most recent reading."""

@@ -339,6 +339,14 @@ def build_deployment(config: dict) -> Deployment:
             manager.load_plugin(block)
     for block in analytics.get("agent", []):
         dep.agent_manager.load_plugin(block)
+    if analytics:
+        # With every block loaded, plan pipeline fusion once per host.
+        # The planner is conservative: hosts with no eligible chain
+        # (agent storage, published intermediates, period mismatches)
+        # simply keep their staged per-operator schedule.
+        for manager in dep.managers.values():
+            manager.refresh_fusion()
+        dep.agent_manager.refresh_fusion()
     return dep
 
 

@@ -170,6 +170,9 @@ class AggregatorOperator(OperatorBase):
     # ------------------------------------------------------------------
 
     supports_batch = True
+    #: compute_batch reads its BatchWindow without mutating it, so
+    #: fused groups may serve this plugin zero-copy channel views.
+    fusion_safe = True
 
     def compute_batch(self, units: Sequence[Unit], ts: int) -> List[UnitResult]:
         assert self.engine is not None
@@ -209,6 +212,29 @@ class AggregatorOperator(OperatorBase):
             if values:
                 results.append(UnitResult(unit, values))
         return results
+
+    def compute_batch_vector(self, units: Sequence[Unit], ts: int):
+        """Uniform-pass vector kernel for fused intermediate stages.
+
+        Only the wildcard single-aggregate form (``ops: {"*": op}``)
+        qualifies — then every output resolves to the same kernel and
+        the stacked :meth:`_kernel` column is exactly what
+        :meth:`_batch_uniform` would have unpacked per unit.  Declines
+        (None) on multiple/ragged inputs, same as the uniform path.
+        """
+        if set(self._ops) != {"*"}:
+            return None
+        window, slices = self.batch_window(units)
+        rows = self._single_row_layout(slices)
+        if rows is None or not len(rows):
+            return None
+        counts = window.counts[rows]
+        n = int(counts[0])
+        if n < 1 or (counts != n).any():
+            return None
+        sub = window.values[rows, window.width - n:]
+        tss = window.timestamps[rows, window.width - n:]
+        return self._kernel(self._ops["*"], sub, tss, n)
 
     def _kernel(self, op: str, sub, tss, n: int):
         if op == "delta":

@@ -110,6 +110,9 @@ class HealthOperator(OperatorBase):
     # ------------------------------------------------------------------
 
     supports_batch = True
+    #: compute_batch reads its BatchWindow without mutating it, so
+    #: fused groups may serve this plugin zero-copy channel views.
+    fusion_safe = True
 
     def compute_batch(self, units: Sequence[Unit], ts: int) -> List[UnitResult]:
         """Window means for every bounded input in one batched query.

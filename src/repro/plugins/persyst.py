@@ -106,6 +106,9 @@ class PerSystOperator(JobOperatorBase):
     # ------------------------------------------------------------------
 
     supports_batch = True
+    #: compute_batch reads its BatchWindow without mutating it, so
+    #: fused groups may serve this plugin zero-copy channel views.
+    fusion_safe = True
 
     def compute_batch(self, units: Sequence[Unit], ts: int) -> List[UnitResult]:
         """One batched query gathers every job's newest samples at once.

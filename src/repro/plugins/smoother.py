@@ -60,6 +60,9 @@ class SmootherOperator(OperatorBase):
     # ------------------------------------------------------------------
 
     supports_batch = True
+    #: compute_batch reads its BatchWindow without mutating it, so
+    #: fused groups may serve this plugin zero-copy channel views.
+    fusion_safe = True
 
     def compute_batch(self, units: Sequence[Unit], ts: int) -> List[UnitResult]:
         assert self.engine is not None
@@ -108,6 +111,30 @@ class SmootherOperator(OperatorBase):
             if out:
                 results.append(UnitResult(unit, out))
         return results
+
+    def compute_batch_vector(self, units: Sequence[Unit], ts: int):
+        """Uniform-pass vector kernel for fused intermediate stages.
+
+        The same stacked mean/EWMA :meth:`compute_batch` runs on its
+        uniform path, minus the per-unit dict packaging — bit-for-bit
+        identical values, returned as one column aligned with
+        ``units``.  Declines (None) whenever a unit lacks an input or
+        windows are ragged, exactly where :meth:`compute_batch` leaves
+        its uniform path.
+        """
+        window, slices = self.batch_window(units, topics_of=_first_input)
+        rows = self._single_row_layout(slices)
+        if rows is None or not len(rows):
+            return None
+        counts = window.counts[rows]
+        n = int(counts[0])
+        if n < 1 or (counts != n).any():
+            return None
+        sub = window.values[rows, window.width - n:]
+        if self.alpha is None:
+            return sub.mean(axis=1)
+        weights = (1.0 - self.alpha) ** np.arange(n - 1, -1, -1)
+        return (sub * weights).sum(axis=1) / weights.sum()
 
 
 def _first_input(unit: Unit) -> List[str]:

@@ -40,6 +40,7 @@ EXPECTED_CODES = {
     "flowbad_f010_breaker_flap": "F010",
     "flowbad_f011_pipeline_delay": "F011",
     "flowbad_f012_ingest_burst": "F012",
+    "flowbad_f013_blocked_fusion": "F013",
 }
 
 
@@ -54,7 +55,7 @@ def test_every_rule_has_a_fixture():
         "fixture set out of sync with EXPECTED_CODES"
     )
     assert sorted(EXPECTED_CODES.values()) == [
-        f"F{i:03d}" for i in range(1, 13)
+        f"F{i:03d}" for i in range(1, 14)
     ]
 
 
@@ -274,7 +275,7 @@ class TestCatalogDrift:
             REPO_ROOT / "src" / "repro" / "analysis" / "flow.py"
         ).read_text()
         assert set(re.findall(r"\bF\d{3}\b", flow_src)) >= {
-            f"F{i:03d}" for i in range(1, 13)
+            f"F{i:03d}" for i in range(1, 14)
         }
 
 
