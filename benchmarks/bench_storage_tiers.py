@@ -1,0 +1,419 @@
+"""Tiered storage benchmark — parity, crash replay, rollups, latency.
+
+Production DCDB persists readings in Cassandra with age-based
+downsampling; the reproduction's :class:`TieredStorageBackend` seals
+in-memory series into on-disk columnar segments and compacts old raw
+segments into 10s/1min rollups.  A disk tier is only acceptable if it
+is *invisible* to readers and loses nothing across restarts, so this
+bench measures exactly those properties:
+
+- **Tier identity**: the same reading stream (including out-of-order
+  offenders) driven into a memory-only backend and a tiered backend
+  that flushes aggressively must answer every range query
+  bit-identically, with hits spanning both tiers.
+- **Restart replay**: seal everything, reopen the segment directory in
+  a fresh backend (the crash-recovery path) and compare every series —
+  zero lost readings, and the seal boundary still refuses stale
+  inserts after the restart.
+- **Rollup compaction**: age raw segments through the 10s and 1min
+  levels; report the compression ratio and the aggregate mass error
+  (``sum(mean x count)`` vs the raw sum — must be ~0: the rollups
+  redistribute readings, they must not invent or lose signal).
+- **Query/insert throughput**: memory-only vs tiered on identical
+  workloads, so the disk tier's overhead is a number, not a feeling.
+
+Run standalone (``python benchmarks/bench_storage_tiers.py [--smoke]``)
+or under pytest.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # script invocation: make repo-root imports work
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import numpy as np
+
+from benchmarks.harness import (
+    print_header,
+    print_table,
+    shape_check,
+    write_bench_artifact,
+)
+from repro.common.timeutil import NS_PER_SEC
+from repro.dcdb.segments import TieredStorageBackend
+from repro.dcdb.storage import StorageBackend
+
+CONFIG = {
+    "identity": {"topics": 8, "seconds": 30, "ooo_every": 13},
+    "rollup": {"topics": 3, "seconds": 1800, "flush_chunks": 6},
+    "throughput": {"topics": 4, "readings": 25_000},
+}
+
+
+def _stream(topics: int, seconds: int, ooo_every: int, seed: int = 0xD15C):
+    """Deterministic reading stream with periodic out-of-order offenders.
+
+    Yields (topic, timestamps, values) batches; every ``ooo_every``-th
+    batch carries one timestamp rewound behind the previous batch, which
+    every tier must refuse identically.
+    """
+    rng = np.random.default_rng(seed)
+    names = [f"/rack00/node{i:02d}/power" for i in range(topics)]
+    for sec in range(seconds):
+        for t, topic in enumerate(names):
+            base = sec * NS_PER_SEC + t * 1000
+            ts = base + np.arange(0, 4, dtype=np.int64) * (NS_PER_SEC // 4)
+            val = rng.normal(100.0, 5.0, size=4)
+            if ooo_every and sec and sec % ooo_every == 0 and t == 0:
+                ts = ts.copy()
+                ts[1] -= 2 * NS_PER_SEC  # rewind: must be dropped
+            yield topic, ts, val
+
+
+def run_identity(topics: int, seconds: int, ooo_every: int) -> dict:
+    """Memory-only vs aggressively-flushing tiered: bit-identical?"""
+    tmp = tempfile.mkdtemp(prefix="bench-tiers-")
+    try:
+        mem = StorageBackend()
+        tiered = TieredStorageBackend(tmp, flush_mb=64)
+        for i, (topic, ts, val) in enumerate(
+            _stream(topics, seconds, ooo_every)
+        ):
+            if i % 2:
+                mem.insert_batch(topic, ts, val)
+                tiered.insert_batch(topic, ts, val)
+            else:
+                for t, v in zip(ts, val):
+                    mem.insert(topic, int(t), float(v))
+                    tiered.insert(topic, int(t), float(v))
+            # Seal mid-stream so queries span segments AND memory.
+            if i and i % (topics * (seconds // 3)) == 0:
+                tiered.flush(int(ts[-1]))
+        identical = True
+        horizon = seconds * NS_PER_SEC
+        windows = [(0, 2**62), (horizon // 4, 3 * horizon // 4)]
+        for topic in mem.topics():
+            for lo, hi in windows:
+                m_ts, m_val = mem.query(topic, lo, hi)
+                t_ts, t_val = tiered.query(topic, lo, hi)
+                if not (
+                    np.array_equal(m_ts, t_ts)
+                    and np.array_equal(m_val, t_val)
+                ):
+                    identical = False
+        return {
+            "topics": len(mem.topics()),
+            "readings": mem.total_readings(),
+            "ooo_dropped_memory": mem.ooo_dropped,
+            "ooo_dropped_tiered": tiered.ooo_dropped,
+            "segments": len(tiered.store.segments),
+            "segment_points": tiered.store.total_points(),
+            "tier_hits": dict(tiered.tier_hits),
+            "identical": identical,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def run_restart_replay(topics: int, seconds: int) -> dict:
+    """Flush everything, reopen the directory, compare every series."""
+    tmp = tempfile.mkdtemp(prefix="bench-tiers-")
+    try:
+        first = TieredStorageBackend(tmp, flush_mb=64)
+        last_ts = 0
+        for topic, ts, val in _stream(topics, seconds, ooo_every=0):
+            first.insert_batch(topic, ts, val)
+            last_ts = max(last_ts, int(ts[-1]))
+        mid = seconds * NS_PER_SEC // 2
+        first.flush(mid)  # two generations of segments
+        for topic, ts, val in _stream(topics, seconds, ooo_every=0,
+                                      seed=0xB007):
+            first.insert_batch(topic, ts + mid + NS_PER_SEC, val)
+            last_ts = max(last_ts, int(ts[-1]) + mid + NS_PER_SEC)
+        flushed = first.total_readings()
+        expected = {
+            topic: first.query(topic, 0, 2**62) for topic in first.topics()
+        }
+        first.flush(last_ts)
+
+        # "Restart": a brand-new backend over the same directory.
+        second = TieredStorageBackend(tmp, flush_mb=64)
+        mismatched = 0
+        lost = flushed - second.total_readings()
+        for topic, (e_ts, e_val) in expected.items():
+            g_ts, g_val = second.query(topic, 0, 2**62)
+            if not (
+                np.array_equal(e_ts, g_ts) and np.array_equal(e_val, g_val)
+            ):
+                mismatched += 1
+        probe = first.topics()[0]
+        before = second.count(probe)
+        second.insert(probe, last_ts + NS_PER_SEC, 1.0)
+        insert_ok = second.count(probe) == before + 1
+        second.insert(probe, 0, 1.0)  # stale replay: must be refused
+        ooo_refused = second.ooo_dropped == 1
+        return {
+            "flushed_readings": flushed,
+            "replayed_readings": second.replayed_points,
+            "lost_readings": lost,
+            "mismatched_series": mismatched,
+            "segments": len(second.store.segments),
+            "post_restart_insert_ok": insert_ok,
+            "post_restart_ooo_refused": ooo_refused,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def run_rollup(topics: int, seconds: int, flush_chunks: int) -> dict:
+    """Age raw segments into 10s and 1min rollups; check mass."""
+    tmp = tempfile.mkdtemp(prefix="bench-tiers-")
+    try:
+        backend = TieredStorageBackend(
+            tmp,
+            flush_mb=64,
+            rollup_after_ns=(seconds // 6) * NS_PER_SEC,
+            rollup_minute_after_ns=(seconds // 3) * NS_PER_SEC,
+        )
+        rng = np.random.default_rng(0x5EED)
+        names = [f"/rack00/node{i:02d}/power" for i in range(topics)]
+        raw_sum = 0.0
+        raw_readings = 0
+        chunk = seconds // flush_chunks
+        for c in range(flush_chunks):
+            for topic in names:
+                ts = (
+                    np.arange(c * chunk, (c + 1) * chunk, dtype=np.int64)
+                    * NS_PER_SEC
+                )
+                val = rng.normal(200.0, 20.0, size=len(ts))
+                backend.insert_batch(topic, ts, val)
+                raw_sum += float(val.sum())
+                raw_readings += len(ts)
+            backend.flush((c + 1) * chunk * NS_PER_SEC)
+        backend.maintain(seconds * NS_PER_SEC)
+
+        represented = 0
+        mass = 0.0
+        for seg in backend.store.segments:
+            for topic in seg.series:
+                cols = seg.topic_columns(topic, seg.min_ts, seg.max_ts)
+                if seg.level:
+                    represented += int(cols["count"].sum())
+                    mass += float((cols["mean"] * cols["count"]).sum())
+                else:
+                    represented += len(cols["ts"])
+                    mass += float(cols["val"].sum())
+        stored = backend.store.total_points()
+        levels = sorted({seg.level for seg in backend.store.segments})
+        return {
+            "raw_readings": raw_readings,
+            "represented_readings": represented,
+            "stored_points": stored,
+            "compression": raw_readings / stored if stored else 0.0,
+            "levels": levels,
+            "mass_error": abs(mass - raw_sum) / abs(raw_sum),
+            "disk_bytes": backend.disk_bytes(),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def run_throughput(topics: int, readings: int) -> dict:
+    """Insert and full-window query rates, memory-only vs tiered."""
+    names = [f"/rack00/node{i:02d}/power" for i in range(topics)]
+    per_topic = readings // topics
+    ts = np.arange(per_topic, dtype=np.int64) * (NS_PER_SEC // 10)
+    rng = np.random.default_rng(0xBE7)
+    vals = {t: rng.normal(100.0, 5.0, size=per_topic) for t in names}
+
+    def _drive(backend) -> dict:
+        t0 = time.perf_counter()
+        for topic in names:
+            # Chunked batches: the realistic drain-interval granularity.
+            for lo in range(0, per_topic, 1000):
+                backend.insert_batch(
+                    topic, ts[lo : lo + 1000], vals[topic][lo : lo + 1000]
+                )
+        insert_s = time.perf_counter() - t0
+        flush = getattr(backend, "flush", None)
+        if flush is not None:
+            flush(int(ts[-1]))  # worst case for the tiered reader
+        t0 = time.perf_counter()
+        window = 0
+        for topic in names:
+            q_ts, _ = backend.query(topic, 0, 2**62)
+            window = max(window, len(q_ts))
+        query_s = time.perf_counter() - t0
+        return {
+            "insert_per_s": (topics * per_topic) / insert_s,
+            "query_ms": query_s * 1000 / topics,
+            "window_readings": window,
+        }
+
+    tmp = tempfile.mkdtemp(prefix="bench-tiers-")
+    try:
+        return {
+            "memory": _drive(StorageBackend()),
+            "tiered": _drive(TieredStorageBackend(tmp, flush_mb=64)),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short run for CI (same scenarios, smaller horizons)",
+    )
+    args = parser.parse_args(argv)
+    cfg = CONFIG
+    if args.smoke:
+        cfg = {
+            "identity": {"topics": 4, "seconds": 12, "ooo_every": 5},
+            "rollup": {"topics": 2, "seconds": 600, "flush_chunks": 4},
+            "throughput": {"topics": 2, "readings": 5_000},
+        }
+
+    print_header("Storage tiers - memory vs tiered identity")
+    identity = run_identity(**cfg["identity"])
+    print_table(
+        ["topics", "readings", "segments", "ooo dropped", "identical"],
+        [(
+            identity["topics"], identity["readings"],
+            identity["segments"], identity["ooo_dropped_tiered"],
+            identity["identical"],
+        )],
+    )
+    ok = shape_check(
+        "tiered query results bit-identical to memory-only",
+        identity["identical"],
+    )
+    ok &= shape_check(
+        "ordering drops identical across backends",
+        identity["ooo_dropped_memory"] == identity["ooo_dropped_tiered"]
+        and identity["ooo_dropped_memory"] > 0,
+        f"{identity['ooo_dropped_tiered']} dropped",
+    )
+    ok &= shape_check(
+        "queries spanned both tiers",
+        identity["tier_hits"]["memory"] > 0
+        and identity["tier_hits"]["segment"] > 0,
+        str(identity["tier_hits"]),
+    )
+    assert identity["identical"], "tier identity violated"
+
+    print_header("Storage tiers - restart replay (crash recovery)")
+    replay = run_restart_replay(
+        cfg["identity"]["topics"], cfg["identity"]["seconds"]
+    )
+    print_table(
+        ["flushed", "replayed", "lost", "mismatched", "segments"],
+        [(
+            replay["flushed_readings"], replay["replayed_readings"],
+            replay["lost_readings"], replay["mismatched_series"],
+            replay["segments"],
+        )],
+    )
+    ok &= shape_check(
+        "restart replay loses zero readings",
+        replay["lost_readings"] == 0 and replay["mismatched_series"] == 0,
+        f"{replay['lost_readings']} lost",
+    )
+    ok &= shape_check(
+        "seal boundary survives the restart",
+        replay["post_restart_insert_ok"]
+        and replay["post_restart_ooo_refused"],
+    )
+    assert replay["lost_readings"] == 0, "restart replay lost readings"
+
+    print_header("Storage tiers - rollup compaction")
+    rollup = run_rollup(**cfg["rollup"])
+    print_table(
+        ["raw", "represented", "stored", "compression", "mass err"],
+        [(
+            rollup["raw_readings"], rollup["represented_readings"],
+            rollup["stored_points"], round(rollup["compression"], 2),
+            f"{rollup['mass_error']:.2e}",
+        )],
+    )
+    ok &= shape_check(
+        "every raw reading represented in some tier",
+        rollup["represented_readings"] == rollup["raw_readings"],
+    )
+    ok &= shape_check(
+        "rollups preserve aggregate mass",
+        rollup["mass_error"] < 1e-12,
+        f"{rollup['mass_error']:.2e}",
+    )
+    ok &= shape_check(
+        "compaction reached the 1min level and compressed",
+        max(rollup["levels"]) == 2 and rollup["compression"] > 2,
+        f"levels {rollup['levels']}, {rollup['compression']:.1f}x",
+    )
+
+    print_header("Storage tiers - throughput (memory vs tiered)")
+    throughput = run_throughput(**cfg["throughput"])
+    print_table(
+        ["backend", "insert/s", "query ms", "window"],
+        [
+            (
+                name,
+                f"{r['insert_per_s']:,.0f}",
+                f"{r['query_ms']:.3f}",
+                r["window_readings"],
+            )
+            for name, r in throughput.items()
+        ],
+    )
+    ok &= shape_check(
+        "tiered reads the same window the memory backend does",
+        throughput["tiered"]["window_readings"]
+        == throughput["memory"]["window_readings"],
+    )
+
+    write_bench_artifact(
+        "storage_tiers",
+        {
+            "identity": identity,
+            "restart_replay": replay,
+            "rollup": rollup,
+            "throughput": throughput,
+        },
+        config=cfg,
+    )
+    return 0 if ok else 1
+
+
+class TestStorageTiersBench:
+    def test_tier_identity(self, benchmark):
+        r = run_identity(topics=4, seconds=12, ooo_every=5)
+        assert r["identical"], r
+        assert r["ooo_dropped_memory"] == r["ooo_dropped_tiered"] > 0
+        benchmark(lambda: None)
+
+    def test_restart_replay_zero_loss(self, benchmark):
+        r = run_restart_replay(topics=4, seconds=12)
+        assert r["lost_readings"] == 0 and r["mismatched_series"] == 0, r
+        assert r["post_restart_insert_ok"] and r["post_restart_ooo_refused"]
+        benchmark(lambda: None)
+
+    def test_rollup_mass_preserved(self, benchmark):
+        r = run_rollup(topics=2, seconds=600, flush_chunks=4)
+        assert r["represented_readings"] == r["raw_readings"], r
+        assert r["mass_error"] < 1e-12
+        assert max(r["levels"]) == 2
+        benchmark(lambda: None)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,7 @@ DEFAULT_MAX_UNITS = 10_000
 
 _DEPLOYMENT_SECTIONS = frozenset(
     {"cluster", "monitoring", "jobs", "facility", "analytics", "network",
+     "storage",
      # "ignore" suppresses flow (F) diagnostics by code — the JSON
      # counterpart of the inline "# wintermute: ignore[...]" marker.
      "ignore"}
@@ -73,6 +74,13 @@ _QUEUE_POLICIES = ("drop-oldest", "drop-newest")
 _JOB_KEYS = frozenset(
     {"app", "nodes", "node_paths", "start_s", "end_s", "id"}
 )
+_STORAGE_KEYS = frozenset(
+    {"tiers", "dir", "flush_mb", "flush_interval_s", "ttl_s", "rollups",
+     "retention"}
+)
+_ROLLUP_KEYS = frozenset({"after_s", "minute_after_s"})
+_RETENTION_KEYS = frozenset({"raw_s", "rollup_s"})
+_STORAGE_TIER_MODES = ("memory", "tiered")
 
 
 # ----------------------------------------------------------------------
@@ -672,6 +680,108 @@ def _analyze_network(network, out: DiagnosticCollector) -> None:
         )
 
 
+def _analyze_storage(storage, out: DiagnosticCollector) -> None:
+    """Validate a deployment's ``storage`` (tiered persistence) section."""
+    if storage is None:
+        return
+    st_out = out.at("storage")
+    if not isinstance(storage, dict):
+        st_out.error("W005", "'storage' must be a mapping")
+        return
+    for key in sorted(set(storage) - _STORAGE_KEYS):
+        st_out.at(key).warning("W003", f"unknown storage key {key!r}")
+    tiers = storage.get("tiers", "memory")
+    if tiers not in _STORAGE_TIER_MODES:
+        st_out.at("tiers").error(
+            "W016",
+            f"storage tiers must be one of {list(_STORAGE_TIER_MODES)}",
+        )
+    directory = storage.get("dir")
+    if directory is not None and (
+        not isinstance(directory, str) or not directory
+    ):
+        st_out.at("dir").error(
+            "W016", "storage dir must be a non-empty path string"
+        )
+    for key in ("flush_mb", "flush_interval_s"):
+        if key in storage and not _positive_number(storage[key]):
+            st_out.at(key).error(
+                "W016", f"storage {key} must be a positive number"
+            )
+    ttl_s = storage.get("ttl_s", 0)
+    if isinstance(ttl_s, bool) or not isinstance(ttl_s, (int, float)) or (
+        ttl_s < 0
+    ):
+        st_out.at("ttl_s").error(
+            "W016", "storage ttl_s must be a non-negative number"
+        )
+    for section, keys in (
+        ("rollups", _ROLLUP_KEYS), ("retention", _RETENTION_KEYS)
+    ):
+        block = storage.get(section, {})
+        if not isinstance(block, dict):
+            st_out.at(section).error(
+                "W005", f"storage {section} must be a mapping"
+            )
+            continue
+        for key in sorted(set(block) - keys):
+            st_out.at(section, key).warning(
+                "W003", f"unknown {section} key {key!r}"
+            )
+        for key in sorted(set(block) & keys):
+            value = block[key]
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ) or value < 0:
+                st_out.at(section, key).error(
+                    "W016",
+                    f"storage {section}.{key} must be a non-negative "
+                    "number of seconds",
+                )
+    rollups = storage.get("rollups", {})
+    retention = storage.get("retention", {})
+    if not isinstance(rollups, dict):
+        rollups = {}
+    if not isinstance(retention, dict):
+        retention = {}
+    after = rollups.get("after_s", 0)
+    minute_after = rollups.get("minute_after_s", 0)
+    if (
+        _positive_number(after)
+        and _positive_number(minute_after)
+        and minute_after <= after
+    ):
+        st_out.at("rollups", "minute_after_s").warning(
+            "W016",
+            "minute_after_s should exceed after_s — 1-minute compaction "
+            "would chase the 10s rollup immediately",
+        )
+    raw_retention = retention.get("raw_s", 0)
+    if (
+        _positive_number(raw_retention)
+        and _positive_number(after)
+        and raw_retention <= after
+    ):
+        st_out.at("retention", "raw_s").warning(
+            "W016",
+            "retention raw_s <= rollups after_s: raw segments expire "
+            "before they can roll up, losing history the rollup tier "
+            "was meant to keep",
+        )
+    if tiers == "memory":
+        for key in ("dir", "flush_mb", "flush_interval_s"):
+            if key in storage:
+                st_out.at(key).warning(
+                    "W003",
+                    f"storage {key} has no effect with tiers='memory'",
+                )
+        if rollups or retention:
+            st_out.at("rollups" if rollups else "retention").warning(
+                "W003",
+                "rollups/retention have no effect with tiers='memory'",
+            )
+
+
 def analyze_deployment(
     spec: dict,
     known_plugins: Optional[Sequence[str]] = None,
@@ -769,6 +879,7 @@ def analyze_deployment(
             )
 
     _analyze_network(spec.get("network"), out)
+    _analyze_storage(spec.get("storage"), out)
 
     # Synthesized sensor space (skipped when the cluster section is
     # malformed enough that topology construction fails).

@@ -128,6 +128,13 @@ class FlowModel:
     spill_capacity: int = 8192
     ingest_queue_capacity: Optional[int] = None
     memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB
+    #: Storage tiering mode from the spec's ``storage`` section
+    #: ("memory" when absent or explicitly in-memory).
+    storage_tiers: str = "memory"
+    #: Tiered-storage flush budget in bytes (0 = no disk tier); counted
+    #: into the agent's F008 footprint — the memory tier really holds
+    #: up to this much before sealing a segment.
+    storage_flush_bytes: int = 0
     #: (context, member labels) per fused group the runtime would form.
     fused_groups: List[Tuple[str, List[str]]] = field(default_factory=list)
     #: (context, upstream label, downstream label, reason) per blocked
@@ -572,10 +579,16 @@ def _check_memory(model: FlowModel, out: DiagnosticCollector) -> None:
     budget = model.memory_budget_mb * 1024 * 1024
     for host, nbytes in sorted(model.host_memory.items()):
         if nbytes > budget:
+            extra = ""
+            if model.storage_flush_bytes and host == "collect agent":
+                extra = (
+                    f" (incl. {_fmt_mb(model.storage_flush_bytes)} "
+                    f"storage flush budget — shrink flush_mb too)"
+                )
             out.at("monitoring", "cache_window_s").warning(
                 "F008",
                 f"estimated sensor-cache footprint on the {host} is "
-                f"{_fmt_mb(nbytes)}, over the "
+                f"{_fmt_mb(nbytes)}{extra}, over the "
                 f"{model.memory_budget_mb:g} MiB budget; shrink "
                 f"cache_window_s or the sensor set "
                 f"(--flow-memory-budget-mb adjusts the budget)",
@@ -777,10 +790,23 @@ def build_flow_model(
             agent_fused.get(op.name),
         )
 
-    # Budgets: per-host cache footprints, then resilience.
+    # Budgets: per-host cache footprints, then resilience.  A tiered
+    # storage section adds its flush budget to the agent — the hot
+    # memory tier genuinely holds up to flush_mb before sealing.
     model.host_memory["collect agent"] = _estimate_memory(
         agent_rp.tree.all_sensor_topics(), facts, model
     )
+    storage = spec.get("storage")
+    if isinstance(storage, dict) and storage.get("tiers") == "tiered":
+        model.storage_tiers = "tiered"
+        flush_mb = storage.get("flush_mb", 64.0)
+        if (
+            isinstance(flush_mb, (int, float))
+            and not isinstance(flush_mb, bool)
+            and flush_mb > 0
+        ):
+            model.storage_flush_bytes = int(flush_mb * 1024 * 1024)
+            model.host_memory["collect agent"] += model.storage_flush_bytes
     if model.n_pushers:
         model.host_memory["pusher (per node)"] = _estimate_memory(
             pusher_rp.tree.all_sensor_topics(), facts, model
@@ -848,6 +874,12 @@ def render_flow_report(model: FlowModel) -> str:
         lines.append(
             f"memory: {host} ~{_fmt_mb(nbytes)} "
             f"(budget {model.memory_budget_mb:g} MiB)"
+        )
+    if model.storage_tiers == "tiered":
+        lines.append(
+            f"storage: tiered, flush budget "
+            f"{_fmt_mb(model.storage_flush_bytes)} counted into the "
+            f"collect agent footprint"
         )
     if model.worst_outage_ns:
         lines.append(

@@ -83,6 +83,18 @@ def cmd_run(args) -> int:
     print(f"simulated {args.duration:.0f}s on {len(dep.pushers)} nodes")
     print(f"sensors: {len(dep.agent.sensor_topics())}")
     print(f"readings stored: {storage.total_readings():,}")
+    tier_stats = getattr(storage, "tier_stats", None)
+    if tier_stats is not None:
+        stats = tier_stats()
+        segments = stats["segments"]
+        print(
+            f"storage: tiered at {stats['directory']}, "
+            f"{segments['raw']} raw / {segments['rollup_10s']} 10s / "
+            f"{segments['rollup_1min']} 1min segment(s), "
+            f"{stats['disk_bytes']:,} bytes on disk, "
+            f"{stats['flushes']} flush(es), "
+            f"{stats['replayed_points']:,} replayed"
+        )
     print(f"mqtt messages: {dep.broker.published_count:,} published, "
           f"{dep.broker.delivered_count:,} delivered")
     if dep.link is not None:

@@ -97,6 +97,21 @@ class CollectAgent:
                 lambda ts: self._storage.expire(ts),
                 max(NS_PER_SEC, self._storage.ttl_ns // 10),
             )
+        # Tiered backends additionally run flush/rollup/retention sweeps
+        # (the Cassandra-compaction equivalent) on their own cadence.
+        maintain = getattr(self._storage, "maintain", None)
+        if callable(maintain):
+            self._maintenance_task = scheduler.add_callback(
+                f"{name}:storage-maintenance",
+                maintain,
+                int(
+                    getattr(
+                        self._storage,
+                        "maintenance_interval_ns",
+                        30 * NS_PER_SEC,
+                    )
+                ),
+            )
         self._register_routes()
 
     def _register_gauges(self) -> None:
@@ -126,6 +141,28 @@ class CollectAgent:
             "storage_stored_readings",
             fn=lambda: self._storage.total_readings(),
         )
+        if hasattr(self._storage, "tier_stats"):
+            storage = self._storage  # tiered backend: per-tier visibility
+            self.telemetry.gauge(
+                "storage_disk_bytes", fn=lambda: storage.disk_bytes()
+            )
+            self.telemetry.gauge(
+                "storage_segments",
+                fn=lambda: len(storage.store.segments),
+            )
+            self.telemetry.gauge(
+                "storage_flushes", fn=lambda: storage.flush_count
+            )
+            self.telemetry.gauge(
+                "storage_rollup_compactions",
+                fn=lambda: storage.rollup_compactions,
+            )
+            for tier in ("memory", "segment", "rollup"):
+                self.telemetry.gauge(
+                    "storage_tier_hits",
+                    fn=lambda t=tier: storage.tier_hits[t],
+                    tier=tier,
+                )
 
     @property
     def forwarded_count(self) -> int:

@@ -40,26 +40,50 @@ class _Series:
         new_val[: self.size] = self.val[: self.size]
         self.ts, self.val = new_ts, new_val
 
-    def append(self, timestamp: int, value: float) -> None:
+    def append(self, timestamp: int, value: float) -> bool:
+        """Append one reading; returns False when it was dropped.
+
+        Maintain time order: DCDB rejects out-of-order inserts at the
+        same key; we drop them silently like the sensor cache does.
+        """
+        if self.size and timestamp < int(self.ts[self.size - 1]):
+            return False
         if self.size == len(self.ts):
             self._grow(self.size + 1)
-        # Maintain time order: DCDB rejects out-of-order inserts at the
-        # same key; we drop them silently like the sensor cache does.
-        if self.size and timestamp < int(self.ts[self.size - 1]):
-            return
         self.ts[self.size] = timestamp
         self.val[self.size] = value
         self.size += 1
+        return True
 
-    def append_batch(self, timestamps: np.ndarray, values: np.ndarray) -> None:
+    def append_batch(self, timestamps: np.ndarray, values: np.ndarray) -> int:
+        """Append a batch under the same out-of-order-drop semantics as
+        scalar :meth:`append`; returns how many readings were stored.
+
+        An element survives only if it is >= every element stored before
+        it — both the series tail and any earlier batch element that was
+        itself kept.  Because any element larger than the running prefix
+        maximum is always kept, "kept running maximum" and "prefix
+        maximum" coincide, so the guard vectorises as one accumulated
+        maximum plus a tail comparison.
+        """
         n = len(timestamps)
         if n == 0:
-            return
+            return 0
+        keep = timestamps >= np.maximum.accumulate(timestamps)
+        if self.size:
+            keep &= timestamps >= int(self.ts[self.size - 1])
+        if not keep.all():
+            timestamps = timestamps[keep]
+            values = values[keep]
+            n = len(timestamps)
+            if n == 0:
+                return 0
         if self.size + n > len(self.ts):
             self._grow(self.size + n)
         self.ts[self.size : self.size + n] = timestamps
         self.val[self.size : self.size + n] = values
         self.size += n
+        return n
 
     def range(self, start: int, end: int) -> Tuple[np.ndarray, np.ndarray]:
         lo = int(np.searchsorted(self.ts[: self.size], start, side="left"))
@@ -67,13 +91,30 @@ class _Series:
         return self.ts[lo:hi], self.val[lo:hi]
 
     def expire_before(self, cutoff: int) -> int:
-        """Drop readings older than ``cutoff``; returns how many."""
+        """Drop readings older than ``cutoff``; returns how many.
+
+        When expiry leaves the buffers less than a quarter full the
+        column pair is reallocated at the next power-of-two fit, so
+        long-retention runs actually release the memory their TTL
+        sweeps free up instead of keeping peak-sized buffers forever.
+        """
         lo = int(np.searchsorted(self.ts[: self.size], cutoff, side="left"))
         if lo == 0:
             return 0
         keep = self.size - lo
-        self.ts[:keep] = self.ts[lo : self.size]
-        self.val[:keep] = self.val[lo : self.size]
+        cap = len(self.ts)
+        if cap > self._INITIAL and keep < cap / 4:
+            new_cap = self._INITIAL
+            while new_cap < keep:
+                new_cap *= 2
+            new_ts = np.empty(new_cap, dtype=np.int64)
+            new_val = np.empty(new_cap, dtype=np.float64)
+            new_ts[:keep] = self.ts[lo : self.size]
+            new_val[:keep] = self.val[lo : self.size]
+            self.ts, self.val = new_ts, new_val
+        else:
+            self.ts[:keep] = self.ts[lo : self.size]
+            self.val[:keep] = self.val[lo : self.size]
         self.size = keep
         return lo
 
@@ -94,6 +135,8 @@ class StorageBackend:
         self.ttl_ns = int(ttl_ns)
         self.insert_count = 0
         self.query_count = 0
+        #: Readings refused for violating per-topic time order.
+        self.ooo_dropped = 0
 
     # ------------------------------------------------------------------
     # Inserts
@@ -104,8 +147,10 @@ class StorageBackend:
         series = self._series.get(topic)
         if series is None:
             series = self._series[topic] = _Series()
-        series.append(timestamp, value)
-        self.insert_count += 1
+        if series.append(timestamp, value):
+            self.insert_count += 1
+        else:
+            self.ooo_dropped += 1
 
     def insert_batch(
         self, topic: str, timestamps: np.ndarray, values: np.ndarray
@@ -118,11 +163,12 @@ class StorageBackend:
         series = self._series.get(topic)
         if series is None:
             series = self._series[topic] = _Series()
-        series.append_batch(
+        stored = series.append_batch(
             np.asarray(timestamps, dtype=np.int64),
             np.asarray(values, dtype=np.float64),
         )
-        self.insert_count += len(timestamps)
+        self.insert_count += stored
+        self.ooo_dropped += len(timestamps) - stored
 
     # ------------------------------------------------------------------
     # Queries

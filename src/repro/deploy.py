@@ -27,6 +27,12 @@ Specification shape (all sections optional except ``cluster``)::
         "pushers": [ <wintermute plugin config block>, ... ],
         "agent":   [ <wintermute plugin config block>, ... ]
       },
+      "storage": {
+        "tiers": "tiered", "dir": "/var/tmp/wintermute-segments",
+        "flush_mb": 64, "flush_interval_s": 30, "ttl_s": 0,
+        "rollups": {"after_s": 3600, "minute_after_s": 86400},
+        "retention": {"raw_s": 604800, "rollup_s": 0}
+      },
       "network": {
         "latency_ms": 5, "jitter_ms": 2, "drop_probability": 0.0,
         "seed": 0,
@@ -46,6 +52,16 @@ explicit ``node_paths`` list.  With a ``facility`` section, a cooling
 loop is attached to the cluster and sampled by a dedicated facility
 Pusher under ``/facility/cooling``.
 
+With a ``storage`` section set to ``"tiers": "tiered"``, the Collect
+Agent persists through a
+:class:`~repro.dcdb.segments.TieredStorageBackend`: in-memory series are
+sealed into on-disk segment files past ``flush_mb``, raw segments roll
+up into 10-second and 1-minute min/mean/max aggregates past the
+``rollups`` horizons, and ``retention`` drops whole segments past their
+horizon.  Reopening the same ``dir`` replays sealed segments (crash
+recovery).  ``"tiers": "memory"`` (the default) keeps the in-memory
+backend, optionally with a ``ttl_s`` expiry sweep.
+
 With a ``network`` section, every Pusher publishes through a
 :class:`~repro.dcdb.network.NetworkConditions` link (exposed as
 ``deployment.link``): latency/jitter/loss apply to each message,
@@ -57,6 +73,7 @@ knobs), and ``ingest`` bounds the Collect Agent's MQTT queue.
 from __future__ import annotations
 
 import json
+import tempfile
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -79,6 +96,46 @@ from repro.simulator.scheduler import Job
 
 _MONITORING_PLUGINS = ("sysfs", "procfs", "perfevent", "opa", "tester")
 
+_STORAGE_TIERS = ("memory", "tiered")
+
+
+def storage_from_block(block: Optional[dict]):
+    """Build the Collect Agent's storage backend from a spec's
+    ``storage`` section (None keeps the agent's default backend)."""
+    from repro.dcdb.storage import StorageBackend
+
+    if not block:
+        return None
+    tiers = block.get("tiers", "memory")
+    if tiers not in _STORAGE_TIERS:
+        raise ConfigError(f"unknown storage tiers mode: {tiers!r}")
+    ttl_ns = int(block.get("ttl_s", 0) * NS_PER_SEC)
+    if tiers == "memory":
+        return StorageBackend(ttl_ns=ttl_ns) if ttl_ns > 0 else None
+    from repro.dcdb.segments import TieredStorageBackend
+
+    directory = block.get("dir")
+    if not directory:
+        # Per-run scratch tier; intentionally not auto-deleted, so a
+        # restarted process pointed at the printed path can replay it.
+        directory = tempfile.mkdtemp(prefix="wintermute-segments-")
+    rollups = block.get("rollups", {})
+    retention = block.get("retention", {})
+    return TieredStorageBackend(
+        directory,
+        flush_mb=float(block.get("flush_mb", 64.0)),
+        rollup_after_ns=int(rollups.get("after_s", 0) * NS_PER_SEC),
+        rollup_minute_after_ns=int(
+            rollups.get("minute_after_s", 0) * NS_PER_SEC
+        ),
+        retention_raw_ns=int(retention.get("raw_s", 0) * NS_PER_SEC),
+        retention_rollup_ns=int(retention.get("rollup_s", 0) * NS_PER_SEC),
+        ttl_ns=ttl_ns,
+        maintenance_interval_ns=int(
+            block.get("flush_interval_s", 30) * NS_PER_SEC
+        ),
+    )
+
 
 class Deployment:
     """A running simulated system: simulator, pushers, agent, analytics.
@@ -99,6 +156,7 @@ class Deployment:
         anomalies: Optional[Dict[str, float]] = None,
         tester_sensors: int = 100,
         network: Optional[dict] = None,
+        storage: Optional[dict] = None,
     ) -> None:
         unknown = set(monitoring) - set(_MONITORING_PLUGINS)
         if unknown:
@@ -183,6 +241,9 @@ class Deployment:
             pusher.attach_analytics(manager)
             self.pushers[node] = pusher
             self.managers[node] = manager
+        storage_backend = storage_from_block(storage)
+        if storage_backend is not None:
+            agent_kwargs["storage"] = storage_backend
         self.agent = CollectAgent(
             "agent", self.broker, self.scheduler,
             cache_window_ns=cache_window_ns,
@@ -305,6 +366,7 @@ def build_deployment(config: dict) -> Deployment:
         anomalies=cluster.get("anomalies"),
         tester_sensors=monitoring.get("tester_sensors", 100),
         network=config.get("network"),
+        storage=config.get("storage"),
     )
     for i, job_block in enumerate(config.get("jobs", [])):
         start = int(job_block.get("start_s", 0) * NS_PER_SEC)

@@ -1,0 +1,80 @@
+"""Provenance guard for committed benchmark artifacts.
+
+Every ``BENCH_*.json`` the repo ships must be reproducible: some
+benchmark under ``benchmarks/`` has to name it in a
+``write_bench_artifact("<name>", ...)`` call, and the artifact itself
+must carry the schema-v2 provenance block (producing git commit +
+config digest).  An artifact nobody can regenerate is a provenance bug
+— exactly how ``BENCH_storage_tiers.json`` sat orphaned until the
+storage-tiers bench landed.
+"""
+
+import json
+import re
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+ARTIFACT_RE = re.compile(r"write_bench_artifact\(\s*[\"']([\w-]+)[\"']")
+
+
+def _tracked_artifacts():
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "BENCH_*.json"],
+            cwd=REPO, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return [REPO / line for line in out.stdout.splitlines() if line]
+
+
+def _generator_names():
+    names = set()
+    for bench in (REPO / "benchmarks").glob("bench_*.py"):
+        names.update(ARTIFACT_RE.findall(bench.read_text()))
+    return names
+
+
+def test_every_committed_artifact_names_a_generator():
+    artifacts = _tracked_artifacts()
+    if artifacts is None:
+        pytest.skip("git unavailable; cannot list committed artifacts")
+    assert artifacts, "no committed BENCH_*.json artifacts found"
+    generators = _generator_names()
+    for path in artifacts:
+        name = path.name[len("BENCH_"):-len(".json")]
+        assert name in generators, (
+            f"{path.name} is orphaned: no benchmarks/bench_*.py calls "
+            f"write_bench_artifact({name!r})"
+        )
+
+
+def test_every_committed_artifact_has_provenance():
+    artifacts = _tracked_artifacts()
+    if artifacts is None:
+        pytest.skip("git unavailable; cannot list committed artifacts")
+    for path in artifacts:
+        doc = json.loads(path.read_text())
+        prov = doc.get("provenance")
+        assert isinstance(prov, dict), f"{path.name} lacks provenance"
+        assert prov.get("schema_version") == 2, path.name
+        assert re.fullmatch(r"[0-9a-f]{40}", prov.get("git_sha", "")), (
+            f"{path.name} provenance lacks a git SHA"
+        )
+        assert "config_digest" in prov, path.name
+
+
+def test_storage_tiers_artifact_reconciled():
+    """The once-orphaned artifact now has a generator and provenance."""
+    path = REPO / "BENCH_storage_tiers.json"
+    assert path.exists()
+    doc = json.loads(path.read_text())
+    assert "provenance" in doc
+    assert doc["identity"]["identical"] is True
+    assert doc["restart_replay"]["lost_readings"] == 0
+    assert "storage_tiers" in _generator_names()

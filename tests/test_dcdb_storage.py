@@ -144,3 +144,102 @@ class TestPersistence:
         restored = StorageBackend.load(path)
         assert restored.insert_count == 0
         assert restored.total_readings() == 1
+
+
+class TestBatchOrderingRegression:
+    """Regression: a misordered ``insert_batch`` used to bypass the
+    out-of-order guard that scalar ``insert`` enforces, breaking the
+    sorted-timestamp invariant every binary-search ``range()`` relies
+    on — queries silently returned wrong windows."""
+
+    def test_intra_batch_disorder_dropped(self):
+        s = StorageBackend()
+        s.insert_batch(
+            "/a", np.array([10, 30, 20, 40]), np.array([1.0, 3.0, 2.0, 4.0])
+        )
+        ts, val = s.query("/a", 0, 100)
+        assert list(ts) == [10, 30, 40]
+        assert list(val) == [1.0, 3.0, 4.0]
+        assert s.ooo_dropped == 1
+
+    def test_batch_vs_tail_disorder_dropped(self):
+        s = StorageBackend()
+        s.insert("/a", 100, 1.0)
+        s.insert_batch("/a", np.array([50, 150]), np.array([0.5, 1.5]))
+        ts, _ = s.query("/a", 0, 1000)
+        assert list(ts) == [100, 150]
+        assert s.ooo_dropped == 1
+
+    def test_range_not_corrupted_by_disorder(self):
+        # Before the fix this stored [100, 10, 20]: searchsorted then
+        # located range(0, 50) as an empty window even though 10 and 20
+        # were "stored".  Now the offenders are dropped instead.
+        s = StorageBackend()
+        s.insert_batch(
+            "/a", np.array([100, 10, 20]), np.array([1.0, 2.0, 3.0])
+        )
+        ts, _ = s.query("/a", 0, 50)
+        assert list(ts) == []  # nothing below the kept tail survived
+        ts, _ = s.query("/a", 0, 200)
+        assert list(ts) == [100]
+        assert np.all(np.diff(s.query("/a", 0, 2**62)[0]) >= 0)
+
+    def test_batch_semantics_match_scalar(self):
+        stream_ts = [10, 5, 20, 20, 15, 30]
+        stream_val = [float(t) for t in stream_ts]
+        scalar = StorageBackend()
+        for t, v in zip(stream_ts, stream_val):
+            scalar.insert("/a", t, v)
+        batched = StorageBackend()
+        batched.insert_batch(
+            "/a", np.array(stream_ts), np.array(stream_val)
+        )
+        assert list(scalar.query("/a", 0, 100)[0]) == list(
+            batched.query("/a", 0, 100)[0]
+        )
+        assert scalar.ooo_dropped == batched.ooo_dropped == 2
+        assert scalar.insert_count == batched.insert_count == 4
+
+    def test_equal_timestamps_kept(self):
+        s = StorageBackend()
+        s.insert_batch("/a", np.array([10, 10, 10]), np.array([1.0, 2.0, 3.0]))
+        assert s.count("/a") == 3 and s.ooo_dropped == 0
+
+
+class TestExpiryReclamation:
+    """Regression: ``expire_before`` compacted in place but never
+    released capacity, so a long-retention host kept peak-sized buffers
+    forever — ``memory_bytes()`` never went down."""
+
+    def test_memory_released_after_mass_expiry(self):
+        s = StorageBackend(ttl_ns=10)
+        n = 100_000
+        s.insert_batch(
+            "/a", np.arange(n, dtype=np.int64), np.ones(n)
+        )
+        before = s.memory_bytes()
+        dropped = s.expire(n + 9)  # keep only the last handful
+        assert dropped == n - 1
+        assert s.memory_bytes() < before / 4
+        # Still correct after the reallocation.
+        ts, _ = s.query("/a", 0, 2**62)
+        assert list(ts) == [n - 1]
+        s.insert("/a", n + 50, 1.0)
+        assert s.count("/a") == 2
+
+    def test_partial_expiry_keeps_buffers(self):
+        s = StorageBackend(ttl_ns=100)
+        n = 4096
+        s.insert_batch("/a", np.arange(n, dtype=np.int64), np.ones(n))
+        before = s.memory_bytes()
+        s.expire(n // 2)  # drops less than 3/4: shift in place
+        assert s.memory_bytes() == before
+
+    def test_shrink_never_below_initial_capacity(self):
+        s = StorageBackend(ttl_ns=1)
+        n = 10_000
+        s.insert_batch("/a", np.arange(n, dtype=np.int64), np.ones(n))
+        s.expire(n + 100)  # expire everything
+        assert s.count("/a") == 0
+        floor = 256 * (8 + 8)  # _Series._INITIAL int64+float64 pairs
+        assert s.memory_bytes() == floor
